@@ -1,0 +1,27 @@
+"""Bench: Fig. 2 — realtime throughput under incastmix."""
+
+from benchmarks.conftest import show
+from repro.experiments.figures import fig02_throughput
+
+
+def test_fig02_realtime_throughput(once):
+    result = once(fig02_throughput.run, quick=True)
+    lines = []
+    for variant, summary in result["summary"].items():
+        lines.append(
+            f"{variant:18s} victim-of-incast first rx at "
+            f"{summary['victim_incast_first_rx_ms']:.3f} ms, "
+            f"pfc events {summary['pfc_events']}, "
+            f"victim-of-pfc mean {summary['mean_victim_pfc_gbps']:.2f} Gbps"
+        )
+    show("Fig. 2: realtime throughput (incastmix)", "\n".join(lines))
+
+    base = result["summary"]["dcqcn"]
+    fg = result["summary"]["dcqcn+floodgate"]
+    # Floodgate eliminates PFC that DCQCN triggers
+    assert base["pfc_events"] > 0
+    assert fg["pfc_events"] == 0
+    # victims start receiving no later than with DCQCN
+    assert (
+        fg["victim_incast_first_rx_ms"] <= base["victim_incast_first_rx_ms"]
+    )

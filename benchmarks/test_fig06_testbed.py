@@ -1,0 +1,32 @@
+"""Bench: Fig. 6 — the testbed experiment."""
+
+from benchmarks.conftest import show
+from repro.experiments.figures import fig06_testbed
+
+
+def test_fig06_testbed(once):
+    result = once(fig06_testbed.run, quick=True)
+    lines = []
+    for variant in ("w/o floodgate", "w/ floodgate"):
+        f = result["fct"][variant]
+        b = result["buffers"][variant]
+        lines.append(
+            f"{variant:14s} avg {f['avg_us']:7.1f} us  p99 {f['p99_us']:8.1f} us"
+            f"  buffers MB: tor-up {b['tor-up']:.3f}"
+            f" core {b['core']:.3f} tor-down {b['tor-down']:.3f}"
+        )
+    lines.append(
+        f"avg FCT reduction {result['avg_reduction_pct']:.1f}%"
+        f" (paper: 30.6%), ToR-Down buffer factor"
+        f" {result['tor_down_factor']:.1f}x (paper: 17.2x)"
+    )
+    show("Fig. 6: testbed (1 core, 3 ToRs)", "\n".join(lines))
+
+    # shape: Floodgate improves avg FCT and slashes the last-hop buffer
+    assert result["avg_reduction_pct"] > 0
+    assert result["tor_down_factor"] > 3
+    # first-hop buffering grows (the ToR-Up gate-keeper effect)
+    assert (
+        result["buffers"]["w/ floodgate"]["tor-up"]
+        >= result["buffers"]["w/o floodgate"]["tor-up"]
+    )

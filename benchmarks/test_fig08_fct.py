@@ -1,0 +1,52 @@
+"""Bench: Fig. 8 — avg/p99 FCT of Poisson flows under incastmix."""
+
+from benchmarks.conftest import show
+from repro.experiments.figures import fig08_fct
+
+
+def test_fig08_fct_dcqcn(once):
+    result = once(
+        fig08_fct.run,
+        quick=True,
+        ccs=("dcqcn",),
+        workloads=("memcached", "webserver"),
+    )
+    lines = []
+    for workload, rows in result["dcqcn"].items():
+        for variant, v in rows.items():
+            lines.append(
+                f"dcqcn/{workload:10s} {variant:10s}"
+                f" avg {v['avg_us']:7.1f} us  p99 {v['p99_us']:8.1f} us"
+                f"  pfc {v['pfc_events']}"
+            )
+    show("Fig. 8a: DCQCN +/- Floodgate", "\n".join(lines))
+
+    for workload, rows in result["dcqcn"].items():
+        # Floodgate reduces the Poisson flows' average FCT
+        assert rows["floodgate"]["avg_us"] < rows["baseline"]["avg_us"]
+        # ... and never meaningfully worsens the tail (it improves it
+        # when the tail is queueing-bound; a few % noise tolerated)
+        assert rows["floodgate"]["p99_us"] <= rows["baseline"]["p99_us"] * 1.05
+        assert rows["floodgate"]["pfc_events"] == 0
+
+
+def test_fig08_fct_timely_hpcc(once):
+    result = once(
+        fig08_fct.run,
+        quick=True,
+        ccs=("timely", "hpcc"),
+        workloads=("memcached",),
+    )
+    lines = []
+    for cc, by_workload in result.items():
+        for workload, rows in by_workload.items():
+            for variant, v in rows.items():
+                lines.append(
+                    f"{cc:7s}/{workload:10s} {variant:10s}"
+                    f" avg {v['avg_us']:7.1f} us  p99 {v['p99_us']:8.1f} us"
+                )
+    show("Fig. 8b/8c: TIMELY and HPCC +/- Floodgate", "\n".join(lines))
+
+    for cc in ("timely", "hpcc"):
+        rows = result[cc]["memcached"]
+        assert rows["floodgate"]["avg_us"] < rows["baseline"]["avg_us"]

@@ -1,0 +1,24 @@
+"""Bench: Fig. 9 — per-class FCT CDFs under the Web Server incastmix."""
+
+from benchmarks.conftest import show
+from repro.experiments.figures import fig09_victims
+
+
+def test_fig09_victim_classes(once):
+    result = once(fig09_victims.run, quick=True)
+    lines = []
+    for variant, by_class in result["summary"].items():
+        for cls, s in by_class.items():
+            lines.append(
+                f"{variant:10s} {cls:14s} n={s['count']:4d}"
+                f"  avg {s['avg_us']:7.1f} us  p99 {s['p99_us']:8.1f} us"
+            )
+    show("Fig. 9: FCT by flow class (Web Server)", "\n".join(lines))
+
+    base = result["summary"]["baseline"]
+    fg = result["summary"]["floodgate"]
+    # victims of incast improve markedly with Floodgate
+    assert fg["victim_incast"]["avg_us"] < base["victim_incast"]["avg_us"]
+    assert fg["victim_incast"]["p99_us"] < base["victim_incast"]["p99_us"]
+    # incast flows themselves are not penalized (within 30%)
+    assert fg["incast"]["avg_us"] <= base["incast"]["avg_us"] * 1.3

@@ -1,0 +1,26 @@
+"""Bench: Fig. 18 / §7.4 — bandwidth overhead breakdown."""
+
+from benchmarks.conftest import show
+from repro.experiments.figures import fig18_overhead
+
+
+def test_fig18_bandwidth_breakdown(once):
+    result = once(fig18_overhead.run, quick=True)
+    lines = []
+    for variant, row in result.items():
+        lines.append(
+            f"{variant:10s} data {row['data_pct']:5.1f}%"
+            f"  ctrl {row['ctrl_pct']:5.1f}%"
+            f"  credit {row['credit_pct']:6.3f}%"
+        )
+    lines.append("(paper: credit 0.175% practical, ~3% ideal; ctrl ~4.5%)")
+    show("Fig. 18: bandwidth occupation", "\n".join(lines))
+
+    # plain DCQCN has no credit traffic
+    assert result["dcqcn"]["credit_pct"] == 0.0
+    # practical aggregation is much cheaper than per-packet credits
+    assert result["floodgate"]["credit_pct"] < result["ideal"]["credit_pct"] / 2
+    # credits are a small share overall; data dominates
+    assert result["floodgate"]["credit_pct"] < 2.0
+    for row in result.values():
+        assert row["data_pct"] > 80.0

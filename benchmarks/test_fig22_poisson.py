@@ -1,0 +1,25 @@
+"""Bench: Fig. 22 (App. A.2) — pure Poisson: Floodgate costs nothing."""
+
+from benchmarks.conftest import show
+from repro.experiments.figures import fig22_poisson
+
+
+def test_fig22_pure_poisson(once):
+    result = once(fig22_poisson.run, quick=True, workloads=("memcached",))
+    lines = []
+    for workload, rows in result.items():
+        for variant, v in rows.items():
+            lines.append(
+                f"{workload:10s} {variant:10s}"
+                f" avg {v['avg_us']:7.1f} us  p99 {v['p99_us']:8.1f} us"
+                f"  voqs {v['max_voqs']}"
+            )
+    show("Fig. 22: pure Poisson", "\n".join(lines))
+
+    for workload, rows in result.items():
+        base = rows["baseline"]["avg_us"]
+        fg = rows["floodgate"]["avg_us"]
+        # DCQCN+Floodgate ~= DCQCN without incast (within 15%)
+        assert abs(fg - base) <= 0.15 * base
+        # hardly any VOQ usage: no misclassification of normal traffic
+        assert rows["floodgate"]["max_voqs"] <= 8

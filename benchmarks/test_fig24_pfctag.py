@@ -1,0 +1,29 @@
+"""Bench: Fig. 24 (App. B) — comparison with PFC w/ tag."""
+
+from benchmarks.conftest import show
+from repro.experiments.figures import fig24_pfctag
+
+
+def test_fig24_vs_pfc_tag(once):
+    result = once(fig24_pfctag.run, quick=True)
+    lines = []
+    for topo_label, rows in result.items():
+        for variant, v in rows.items():
+            lines.append(
+                f"{topo_label:20s} {variant:18s}"
+                f" avg {v['avg_us']:7.1f} us  p99 {v['p99_us']:8.1f} us"
+                f"  voqs {v['max_voqs']}"
+            )
+    show("Fig. 24: Floodgate vs PFC w/ tag", "\n".join(lines))
+
+    nb = result["non-blocking"]
+    os4 = result["oversubscribed-4:1"]
+    # non-blocking: PFC w/ tag is comparable to Floodgate (within 2x)
+    assert nb["dcqcn+pfc w/ tag"]["avg_us"] < 2.0 * nb["dcqcn+floodgate"]["avg_us"]
+    # both beat plain DCQCN on tails in the oversubscribed fabric
+    assert os4["dcqcn+floodgate"]["p99_us"] <= os4["dcqcn"]["p99_us"]
+    # oversubscribed: Floodgate (proactive, first-hop) beats the
+    # reactive last-hop scheme
+    assert (
+        os4["dcqcn+floodgate"]["avg_us"] <= os4["dcqcn+pfc w/ tag"]["avg_us"]
+    )

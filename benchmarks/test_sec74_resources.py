@@ -1,0 +1,30 @@
+"""Bench: §7.4 — switch resource overhead."""
+
+from benchmarks.conftest import show
+from repro.experiments.figures import sec74_resources
+
+
+def test_sec74_resource_overhead(once):
+    result = once(sec74_resources.run, quick=True)
+    lines = [
+        f"{r['switch']:8s} window entries {r['window_entries']:3d}"
+        f" (active {r['active_windows']:3d})"
+        f"  max VOQs {r['max_voqs']:3d}"
+        f"  hash fallbacks {r['hash_fallbacks']:3d}"
+        f"  credits {r['credits_sent']:6d}"
+        for r in result["per_switch"]
+    ]
+    lines.append(
+        f"worst-case window entries / hosts ="
+        f" {result['window_entries_vs_hosts']:.2f}"
+        f" (paper bound: 1.0 = one per host); credit bandwidth"
+        f" {result['credit_bandwidth_pct']:.3f}%"
+    )
+    show("Sec. 7.4: resource overhead", "\n".join(lines))
+
+    # window table never exceeds one entry per network host
+    assert result["window_entries_vs_hosts"] <= 1.0
+    # VOQs stay within "dozens" (the paper's observation)
+    assert result["max_voqs_any_switch"] <= 24
+    # credit bandwidth negligible
+    assert result["credit_bandwidth_pct"] < 3.0

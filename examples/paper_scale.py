@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Run one experiment at the paper's full parameters.
+
+160 hosts, 100/400 Gbps, 20 MB buffers — the configuration of §6.
+A pure-Python simulator needs minutes-to-hours per run at this scale,
+so this script is NOT part of the test/benchmark suites; it exists to
+show that nothing in the library is bound to the scaled-down presets.
+
+Run:  python examples/paper_scale.py [--duration-us 50]
+
+The default simulates only 50 us of traffic (a few incast bursts'
+worth of packets) and prints progress as it goes; raise the duration
+on real reproduction hardware.
+"""
+
+import argparse
+import time
+
+from repro.experiments import Scenario, ScenarioConfig, run_scenario
+from repro.experiments.scenario import Scale
+from repro.units import us
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--duration-us", type=float, default=50.0)
+    parser.add_argument(
+        "--flow-control", choices=("none", "floodgate"), default="floodgate"
+    )
+    args = parser.parse_args()
+
+    cfg = ScenarioConfig(
+        scale=Scale.PAPER,
+        workload="websearch",
+        flow_control=args.flow_control,
+        duration=us(args.duration_us),
+        max_runtime_factor=4.0,
+    )
+    print(
+        f"Building the paper-scale fabric (160 hosts, 4 spines,"
+        f" 10 ToRs) with flow_control={args.flow_control!r}..."
+    )
+    start = time.monotonic()
+    scenario = Scenario(cfg)
+    n_flows = len(scenario.flows)
+    print(
+        f"built in {time.monotonic() - start:.1f}s;"
+        f" {n_flows} flows scheduled over {args.duration_us} us"
+    )
+    result = run_scenario(cfg, scenario=scenario)
+    print(
+        f"simulated {result.sim_time / 1000:.1f} us"
+        f" ({result.events:,} events) in {result.wall_seconds:.1f}s wall"
+    )
+    print(
+        f"flows completed {result.completed_flows}/{result.total_flows};"
+        f" max switch buffer {result.max_switch_buffer_mb:.2f} MB;"
+        f" PFC events {result.stats.pfc_pause_events}"
+    )
+    p = result.poisson_fct
+    if p.count:
+        print(f"Poisson FCT so far: avg {p.avg_us:.1f} us, p99 {p.p99_us:.1f} us")
+
+
+if __name__ == "__main__":
+    main()

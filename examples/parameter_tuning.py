@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Parameter tuning: the credit-timer trade-off (paper §6.5 / Fig. 17).
+
+Sweeps Floodgate's credit aggregation timer T and prints the
+three-way trade-off the paper discusses:
+
+* small T  -> tight control (small aggregation-point buffers, low FCT)
+              but more credit packets on the wire;
+* large T  -> cheap credits but larger windows, so more buffering at
+              the aggregation points and slower incast reaction.
+
+Run:  python examples/parameter_tuning.py
+"""
+
+from repro.experiments import ScenarioConfig, run_scenario
+from repro.floodgate import FloodgateConfig
+from repro.units import us
+
+
+def main() -> None:
+    print(f"{'T (us)':>7s} {'credit %':>9s} {'tor-up MB':>10s} "
+          f"{'core MB':>8s} {'tor-down MB':>12s} {'avg FCT us':>11s}")
+    print("-" * 64)
+    for t_us in (1, 2, 4, 8, 16):
+        cfg = ScenarioConfig(
+            workload="webserver",
+            flow_control="floodgate",
+            floodgate=FloodgateConfig(credit_timer=us(t_us)),
+            duration=600_000,
+            n_tors=4,
+            hosts_per_tor=4,
+            track_bandwidth=True,
+        )
+        r = run_scenario(cfg)
+        total = sum(r.stats.tx_bytes_by_category.values()) or 1
+        credit_pct = 100.0 * r.stats.tx_bytes_by_category["credit"] / total
+        print(
+            f"{t_us:7d} {credit_pct:9.3f} "
+            f"{r.max_port_buffer_mb('tor-up'):10.3f} "
+            f"{r.max_port_buffer_mb('core'):8.3f} "
+            f"{r.max_port_buffer_mb('tor-down'):12.3f} "
+            f"{r.poisson_fct.avg_us:11.1f}"
+        )
+    print()
+    print("The paper picks T = 10 us at 400 Gbps; scaled to this fabric"
+          " the equivalent knee sits around 2-4 us.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Render paper figures as terminal charts.
+
+Runs two of the visual experiments (Fig. 2's realtime throughput and
+Fig. 9's FCT CDFs) and draws them with the built-in ASCII plotter —
+the closest thing to the paper's plots this offline environment can
+produce.
+
+Run:  python examples/plot_figures.py
+"""
+
+from repro.experiments.figures import fig02_throughput, fig09_victims
+from repro.stats.asciiplot import bar_chart, cdf_chart, line_chart
+
+
+def main() -> None:
+    print("Running Fig. 2 (realtime throughput)...")
+    fig2 = fig02_throughput.run(quick=True)
+    for variant, series in fig2["series"].items():
+        print(f"\nFig. 2 — {variant}: victim-of-incast throughput")
+        print(
+            line_chart(
+                {"victim of incast": series["victim_incast"]},
+                x_label="time (ms)",
+                y_label="Gbps",
+                height=10,
+            )
+        )
+
+    print("\nRunning Fig. 9 (FCT CDFs by class)...")
+    fig9 = fig09_victims.run(quick=True)
+    cdfs = {
+        variant: fig9["cdf"][variant]["victim_incast"]
+        for variant in ("baseline", "floodgate")
+    }
+    print("\nFig. 9 — victim-of-incast FCT CDF")
+    print(cdf_chart(cdfs, height=12))
+
+    print("\nMax buffer comparison (from the same runs):")
+    buffers = {
+        f"{variant} p99 victim fct (us)": fig9["summary"][variant][
+            "victim_incast"
+        ]["p99_us"]
+        for variant in fig9["summary"]
+    }
+    print(bar_chart(buffers, unit=" us"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Quickstart: run one incastmix experiment with and without Floodgate.
+
+This is the 30-second tour: build the paper's default scenario (a
+leaf-spine fabric, DCQCN hosts, Poisson background traffic plus
+periodic incast), run it twice — once on plain DCQCN and once with
+Floodgate installed on every switch — and compare what the paper's
+headline metrics look like.
+
+Run:  python examples/quickstart.py
+"""
+
+from dataclasses import replace
+
+from repro.experiments import ScenarioConfig, run_scenario
+
+
+def main() -> None:
+    base = ScenarioConfig(
+        workload="webserver",   # Fig. 7's Web Server flow sizes
+        duration=600_000,       # 600 us of traffic generation
+        n_tors=4,
+        hosts_per_tor=4,
+        incast_load=0.8,        # dense incast rounds, as in Fig. 2
+        incast_fan_in=16,
+    )
+
+    print("Running DCQCN (baseline)...")
+    baseline = run_scenario(replace(base, flow_control="none"))
+    print("Running DCQCN + Floodgate...")
+    floodgate = run_scenario(replace(base, flow_control="floodgate"))
+
+    print()
+    print(f"{'metric':35s} {'DCQCN':>12s} {'+Floodgate':>12s}")
+    print("-" * 62)
+    rows = [
+        (
+            "avg FCT of non-incast flows (us)",
+            f"{baseline.poisson_fct.avg_us:.1f}",
+            f"{floodgate.poisson_fct.avg_us:.1f}",
+        ),
+        (
+            "p99 FCT of non-incast flows (us)",
+            f"{baseline.poisson_fct.p99_us:.1f}",
+            f"{floodgate.poisson_fct.p99_us:.1f}",
+        ),
+        (
+            "max switch buffer (MB)",
+            f"{baseline.max_switch_buffer_mb:.3f}",
+            f"{floodgate.max_switch_buffer_mb:.3f}",
+        ),
+        (
+            "max ToR-Down port buffer (MB)",
+            f"{baseline.max_port_buffer_mb('tor-down'):.3f}",
+            f"{floodgate.max_port_buffer_mb('tor-down'):.3f}",
+        ),
+        (
+            "PFC pause events",
+            str(baseline.stats.pfc_pause_events),
+            str(floodgate.stats.pfc_pause_events),
+        ),
+        (
+            "VOQs used (max simultaneous)",
+            "-",
+            str(floodgate.max_voqs_used),
+        ),
+    ]
+    for name, a, b in rows:
+        print(f"{name:35s} {a:>12s} {b:>12s}")
+    print()
+    print(
+        "Floodgate tames the incast at the source ToRs, so the last hop"
+        " never fills and PFC never fires."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Shim for environments without the ``wheel`` package.
+
+``pip install -e .`` needs ``wheel`` for PEP 660 editable installs;
+this offline environment lacks it, so ``python setup.py develop``
+provides the equivalent editable install.  All real metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,31 @@
+"""Analytical models from the paper's buffer-occupancy analysis.
+
+The paper states (§6.1, with proofs in its online appendix) that the
+maximum buffer occupancy of original DCQCN under incast is
+*proportional to the number of flows*, while with Floodgate it drops
+to *proportional to the number of core switches* (an
+order-of-magnitude reduction at datacenter scale).  This package
+provides the closed-form versions of those bounds, plus the window and
+overhead formulas of §4.2/§7.4, so simulator output can be validated
+against theory (see tests/test_analysis.py).
+"""
+
+from repro.analysis.models import (
+    credit_overhead_share,
+    dcqcn_incast_buffer_bound,
+    floodgate_core_buffer_bound,
+    floodgate_dst_buffer_bound,
+    floodgate_window_bytes,
+    ideal_window_bytes,
+    hop_bdp_bytes,
+)
+
+__all__ = [
+    "credit_overhead_share",
+    "dcqcn_incast_buffer_bound",
+    "floodgate_core_buffer_bound",
+    "floodgate_dst_buffer_bound",
+    "floodgate_window_bytes",
+    "ideal_window_bytes",
+    "hop_bdp_bytes",
+]

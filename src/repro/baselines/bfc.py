@@ -1,0 +1,280 @@
+"""BFC: Backpressure Flow Control (Goyal et al., NSDI '22).
+
+Per-hop, per-flow flow control on a limited pool of physical egress
+queues:
+
+* each switch hashes a flow's identifier into a *FID* and assigns the
+  FID to an egress queue — an empty queue when one is free, otherwise
+  an occupied one (collision -> HOL blocking, the behaviour §8 and
+  Appendix B analyze);
+* assignments are *sticky*: a queue stays bound to its FID for a
+  grace period after it drains, so periodic incast flows land back in
+  the same (pausable) queue;
+* when a queue crosses the pause threshold, the switch pauses the
+  *upstream queue* conveyed in the arriving packet's metadata; it
+  resumes the upstream once its own queue drains below the resume
+  threshold;
+* hosts cooperate: the NIC hashes flows onto the same number of
+  virtual queues and pauses them when the ToR says so.
+
+``n_queues=0`` selects **BFC-ideal**: unbounded queues, FID == flow id
+(no collisions), one dedicated queue per flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.net.host import Host
+from repro.net.packet import Packet, PacketKind
+from repro.net.port import EgressPort
+from repro.net.switch import Switch, SwitchExtension
+from repro.net.topology import Topology
+from repro.sim.engine import Simulator
+from repro.units import us
+
+
+def _fid_hash(value: int) -> int:
+    """The switch's FID hash (collisions are part of the model)."""
+    value = (value ^ (value >> 15)) * 0x2C1B3C6D & 0xFFFFFFFF
+    value = (value ^ (value >> 12)) * 0x297A2D39 & 0xFFFFFFFF
+    return value ^ (value >> 21)
+
+
+@dataclass(frozen=True)
+class BfcConfig:
+    """BFC parameters."""
+
+    #: physical queues per egress port; 0 = ideal (per-flow, unbounded)
+    n_queues: int = 32
+    #: queue occupancy (bytes) that triggers pausing the upstream queue
+    pause_threshold: int = 20_000
+    #: occupancy below which paused upstreams are resumed
+    #: (0 -> half the pause threshold)
+    resume_threshold: int = 0
+    #: FID table size; smaller -> more flow-id collisions
+    fid_space: int = 4096
+    #: sticky assignment grace period after a queue drains, ns
+    sticky_time: int = us(20)
+
+    @property
+    def ideal(self) -> bool:
+        return self.n_queues == 0
+
+    def resolved_resume(self) -> int:
+        return self.resume_threshold or max(self.pause_threshold // 2, 1)
+
+
+class _QueueState:
+    """Book-keeping for one egress queue at one port."""
+
+    __slots__ = ("fids", "last_enqueue", "paused_upstreams")
+
+    def __init__(self) -> None:
+        self.fids: Set[int] = set()
+        self.last_enqueue = -(1 << 60)
+        #: (ingress_port, upstream_queue) pairs we paused
+        self.paused_upstreams: Set[Tuple[int, int]] = set()
+
+
+class BfcExtension(SwitchExtension):
+    """BFC logic for one switch."""
+
+    def __init__(self, sim: Simulator, config: BfcConfig) -> None:
+        self.sim = sim
+        self.config = config
+        #: per port: FID -> queue index
+        self.assignment: List[Dict[int, int]] = []
+        #: per port: queue index -> state
+        self.queue_state: List[Dict[int, _QueueState]] = []
+        #: per port: first RR queue index
+        self.first_queue: List[int] = []
+        #: ideal mode: per port, drained queues ready for reuse
+        self.free_queues: List[List[int]] = []
+        self.pauses_sent = 0
+        self.collisions = 0
+
+    def attach(self, switch: Switch) -> None:
+        super().attach(switch)
+        n = self.config.n_queues
+        for port in switch.ports:
+            first = port.add_rr_queues(n) if n else len(port.queues)
+            self.first_queue.append(first)
+            self.assignment.append({})
+            self.queue_state.append({})
+            self.free_queues.append([])
+
+    # -- queue assignment -------------------------------------------------------
+
+    def _fid_of(self, flow_id: int) -> int:
+        if self.config.ideal:
+            return flow_id
+        return _fid_hash(flow_id) % self.config.fid_space
+
+    def _queue_for(self, out_port: int, fid: int) -> int:
+        """Current or fresh queue assignment for ``fid`` at ``out_port``."""
+        port = self.switch.ports[out_port]
+        table = self.assignment[out_port]
+        states = self.queue_state[out_port]
+        now = self.sim.now
+        qidx = table.get(fid)
+        if qidx is not None:
+            state = states[qidx]
+            # sticky: keep while occupied or within the grace period
+            if port.queue_bytes[qidx] > 0 or (
+                now - state.last_enqueue <= self.config.sticky_time
+            ):
+                return qidx
+            state.fids.discard(fid)
+            del table[fid]
+        if self.config.ideal:
+            # dedicate a queue per flow, reusing drained ones (O(1))
+            free = self.free_queues[out_port]
+            idx = free.pop() if free else port.add_rr_queues(1)
+            return self._bind(out_port, fid, idx)
+        first = self.first_queue[out_port]
+        n = self.config.n_queues
+        # prefer an empty, unbound queue
+        for idx in range(first, first + n):
+            state = states.get(idx)
+            if port.queue_bytes[idx] == 0 and (
+                state is None
+                or (
+                    not state.fids
+                    and now - state.last_enqueue > self.config.sticky_time
+                )
+            ):
+                return self._bind(out_port, fid, idx)
+        # all queues busy: hash onto one (flows share -> HOL risk)
+        self.collisions += 1
+        idx = first + _fid_hash(fid ^ 0x5BF0) % n
+        return self._bind(out_port, fid, idx)
+
+    def _bind(self, out_port: int, fid: int, qidx: int) -> int:
+        state = self.queue_state[out_port].setdefault(qidx, _QueueState())
+        state.fids.add(fid)
+        self.assignment[out_port][fid] = qidx
+        return qidx
+
+    # -- data path -----------------------------------------------------------------
+
+    def on_data(self, pkt: Packet, in_port: int, out_port: int) -> bool:
+        upstream_q = pkt.upstream_queue
+        fid = self._fid_of(pkt.flow_id)
+        qidx = self._queue_for(out_port, fid)
+        state = self.queue_state[out_port][qidx]
+        state.last_enqueue = self.sim.now
+        pkt.upstream_queue = qidx  # conveyed to the next hop
+        port = self.switch.ports[out_port]
+        self.switch.enqueue_data(pkt, out_port, queue_idx=qidx)
+        if (
+            port.queue_bytes[qidx] > self.config.pause_threshold
+            and upstream_q >= 0
+        ):
+            key = (in_port, upstream_q)
+            if key not in state.paused_upstreams:
+                state.paused_upstreams.add(key)
+                self._send_pause(in_port, upstream_q, resume=False)
+        return True
+
+    def on_dequeue(self, port: EgressPort, pkt: Packet, queue_idx: int) -> None:
+        if pkt.kind != PacketKind.DATA:
+            return
+        states = self.queue_state[port.index]
+        state = states.get(queue_idx)
+        if state is None:
+            return
+        if (
+            state.paused_upstreams
+            and port.queue_bytes[queue_idx] <= self.config.resolved_resume()
+        ):
+            for in_port, up_q in state.paused_upstreams:
+                self._send_pause(in_port, up_q, resume=True)
+            state.paused_upstreams.clear()
+        if self.config.ideal and port.queue_bytes[queue_idx] == 0:
+            # BFC-ideal: immediately recycle the drained per-flow queue
+            table = self.assignment[port.index]
+            for fid in state.fids:
+                table.pop(fid, None)
+            state.fids.clear()
+            self.free_queues[port.index].append(queue_idx)
+
+    # -- control -----------------------------------------------------------------------
+
+    def handle_control(self, pkt: Packet, in_port: int) -> bool:
+        if pkt.kind == PacketKind.BFC_PAUSE:
+            self.switch.ports[in_port].pause_queue(pkt.pause_port)
+            return True
+        if pkt.kind == PacketKind.BFC_RESUME:
+            self.switch.ports[in_port].resume_queue(pkt.pause_port)
+            return True
+        return False
+
+    def _send_pause(self, in_port: int, upstream_q: int, resume: bool) -> None:
+        peer = self.switch.peer(in_port)
+        kind = PacketKind.BFC_RESUME if resume else PacketKind.BFC_PAUSE
+        frame = Packet.control(kind, self.switch.node_id, peer.node_id)
+        frame.pause_port = upstream_q
+        self.switch.ports[in_port].enqueue_control(frame)
+        if not resume:
+            self.pauses_sent += 1
+
+
+class BfcHost(Host):
+    """Host-side BFC: virtual NIC queues that honour pause frames.
+
+    The host hashes each flow onto ``n_queues`` virtual queues, stamps
+    the queue index into outgoing packets (so the ToR knows what to
+    pause), and suspends the flows of a paused queue.
+    """
+
+    def __init__(self, *args, bfc_config: Optional[BfcConfig] = None, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.bfc_config = bfc_config or BfcConfig()
+        self.paused_queues: Set[int] = set()
+
+    def _host_queue_of(self, flow_id: int) -> int:
+        n = self.bfc_config.n_queues or 128
+        return _fid_hash(flow_id) % n
+
+    def _flow_blocked(self, flow) -> bool:
+        if super()._flow_blocked(flow):
+            return True
+        return self._host_queue_of(flow.flow_id) in self.paused_queues
+
+    def _stamp_packet(self, pkt: Packet, flow) -> None:
+        # the ToR conveys this queue index back in pause frames
+        pkt.upstream_queue = self._host_queue_of(flow.flow_id)
+
+    def receive(self, pkt: Packet, ingress_port: int) -> None:
+        if pkt.kind == PacketKind.BFC_PAUSE:
+            self.paused_queues.add(pkt.pause_port)
+            return
+        if pkt.kind == PacketKind.BFC_RESUME:
+            self.paused_queues.discard(pkt.pause_port)
+            for flow_id in list(self.active_flows):
+                flow = self.flow_table[flow_id]
+                if (
+                    self._host_queue_of(flow_id) == pkt.pause_port
+                    and not flow.sender_done
+                ):
+                    self._kick(flow)
+            return
+        super().receive(pkt, ingress_port)
+
+
+def install_bfc(
+    sim: Simulator,
+    topology: Topology,
+    config: BfcConfig,
+    extensions: List[object],
+) -> None:
+    """Install BFC on every switch and configure host-side queues."""
+    for sw in topology.switches:
+        ext = BfcExtension(sim, config)
+        sw.install_extension(ext)
+        extensions.append(ext)
+    for host in topology.hosts:
+        if isinstance(host, BfcHost):
+            host.bfc_config = config

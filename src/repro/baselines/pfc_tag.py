@@ -1,0 +1,232 @@
+"""PFC w/ tag: the reactive per-dst derivative of Floodgate (App. B).
+
+Behaviour per the paper:
+
+* the last-hop ToR watches each host-facing egress queue; when it
+  exceeds the pause threshold, a ``TAG_PAUSE`` carrying the congested
+  destination goes to the upstream switch the triggering packet came
+  from;
+* an upstream switch that holds a pause for a destination parks that
+  destination's packets in a VOQ; if the VOQ itself exceeds the
+  threshold, the pause propagates another hop upstream;
+* when the congested queue (or VOQ) drains below the resume
+  threshold, ``TAG_RESUME`` frames release the recorded upstream
+  entities and the VOQs drain.
+
+Unlike Floodgate this is *reactive* — nothing is tamed until the
+last-hop queue has already built up — which is exactly the contrast
+Appendix B draws (longer control loop, more VOQs, worse behaviour in
+oversubscribed fabrics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set
+
+from repro.floodgate.voq import GROUP_DOWN, GROUP_UP, VoqPool
+from repro.net.host import Host
+from repro.net.packet import Packet, PacketKind
+from repro.net.port import EgressPort
+from repro.net.switch import Switch, SwitchExtension
+from repro.net.topology import Topology
+from repro.sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class PfcTagConfig:
+    """PFC-w/-tag parameters (thresholds in bytes)."""
+
+    pause_threshold: int = 40_000
+    resume_threshold: int = 20_000
+    max_voqs: int = 1000
+
+
+class PfcTagExtension(SwitchExtension):
+    """Per-switch PFC-w/-tag state."""
+
+    def __init__(self, sim: Simulator, config: PfcTagConfig) -> None:
+        self.sim = sim
+        self.config = config
+        self.pool = VoqPool(config.max_voqs)
+        #: destinations this switch is currently told to pause
+        self.paused_dsts: Set[int] = set()
+        #: dst -> upstream ingress ports we have paused
+        self.paused_upstreams: Dict[int, Set[int]] = {}
+        self.incast_queue: List[int] = []
+        self.pauses_sent = 0
+
+    def attach(self, switch: Switch) -> None:
+        super().attach(switch)
+        for port in switch.ports:
+            self.incast_queue.append(port.add_rr_queues(1))
+
+    # -- data path ---------------------------------------------------------------
+
+    def on_data(self, pkt: Packet, in_port: int, out_port: int) -> bool:
+        sw = self.switch
+        dst = pkt.dst
+        voq = self.pool.lookup(dst)
+        if dst in self.paused_dsts or voq is not None:
+            if voq is None:
+                voq = self.pool.allocate(dst, self._group_of(out_port))
+            if voq is None:
+                sw.enqueue_data(pkt, out_port)
+                return True
+            self._park(pkt, out_port, voq)
+            # VOQ overflowing: push the pause another hop upstream
+            if self.pool.dst_backlog(dst) > self.config.pause_threshold:
+                self._pause_upstream(dst, in_port)
+            return True
+        sw.enqueue_data(pkt, out_port)
+        if (
+            sw.is_last_hop_for(dst)
+            and sw.ports[out_port].data_bytes_queued > self.config.pause_threshold
+        ):
+            self._pause_upstream(dst, in_port)
+        return True
+
+    def _park(self, pkt: Packet, out_port: int, voq) -> None:
+        sw = self.switch
+        buffer = sw.buffer
+        assert buffer is not None
+        if not buffer.admit(pkt.size, pkt.ingress_port):
+            sw.dropped_packets += 1
+            if sw.stats is not None:
+                sw.stats.record_drop()
+            return
+        sw._note_port_bytes(out_port, pkt.size)
+        if sw.stats is not None:
+            sw.stats.record_switch_buffer(sw.name, buffer.used)
+        self.pool.push(voq, pkt)
+
+    def _group_of(self, out_port: int) -> int:
+        peer = self.switch.peer(out_port)
+        if isinstance(peer, Host):
+            return GROUP_DOWN
+        if isinstance(peer, Switch) and peer.level < self.switch.level:
+            return GROUP_DOWN
+        return GROUP_UP
+
+    # -- pause / resume ---------------------------------------------------------------
+
+    def _pause_upstream(self, dst: int, in_port: int) -> None:
+        peer = self.switch.peer(in_port)
+        if not isinstance(peer, Switch):
+            return  # hosts are not paused by this scheme
+        paused = self.paused_upstreams.setdefault(dst, set())
+        if in_port in paused:
+            return
+        paused.add(in_port)
+        frame = Packet.control(
+            PacketKind.TAG_PAUSE, self.switch.node_id, peer.node_id
+        )
+        frame.pause_dst = dst
+        self.switch.ports[in_port].enqueue_control(frame)
+        self.pauses_sent += 1
+
+    def _maybe_resume(self, dst: int, backlog: int) -> None:
+        paused = self.paused_upstreams.get(dst)
+        if not paused or backlog > self.config.resume_threshold:
+            return
+        for in_port in paused:
+            peer = self.switch.peer(in_port)
+            frame = Packet.control(
+                PacketKind.TAG_RESUME, self.switch.node_id, peer.node_id
+            )
+            frame.pause_dst = dst
+            self.switch.ports[in_port].enqueue_control(frame)
+        paused.clear()
+
+    def on_dequeue(self, port: EgressPort, pkt: Packet, queue_idx: int) -> None:
+        if pkt.kind != PacketKind.DATA:
+            return
+        sw = self.switch
+        dst = pkt.dst
+        if sw.is_last_hop_for(dst):
+            self._maybe_resume(dst, port.data_bytes_queued)
+        else:
+            self._maybe_resume(dst, self.pool.dst_backlog(dst))
+        # room opened on this port: trickle resumed VOQ traffic into it
+        self._drain_into(port)
+
+    def _drain_into(self, port: EgressPort) -> None:
+        """Move resumed VOQ packets to ``port`` while it has room.
+
+        Draining is throttled by the pause threshold so a re-pause can
+        still take effect — dumping a whole VOQ at once would defeat
+        the scheme (everything would already sit in the egress queue).
+        """
+        sw = self.switch
+        for dst in list(self.pool.voq_of_dst):
+            if dst in self.paused_dsts:
+                continue
+            if sw.route_for_dst(dst) != port.index:
+                continue
+            voq = self.pool.lookup(dst)
+            while (
+                voq is not None
+                and voq.packets
+                and voq.packets[0].dst not in self.paused_dsts
+                and port.data_bytes_queued < self.config.pause_threshold
+            ):
+                head = self.pool.pop(voq)
+                out = sw.route_for_dst(head.dst)
+                sw.enqueue_data(
+                    head,
+                    out,
+                    queue_idx=self.incast_queue[out],
+                    already_charged=True,
+                )
+                self._maybe_resume(head.dst, self.pool.dst_backlog(head.dst))
+                voq = self.pool.lookup(dst)
+
+    # -- control -----------------------------------------------------------------------
+
+    def handle_control(self, pkt: Packet, in_port: int) -> bool:
+        if pkt.kind == PacketKind.TAG_PAUSE:
+            self.paused_dsts.add(pkt.pause_dst)
+            return True
+        if pkt.kind == PacketKind.TAG_RESUME:
+            self.paused_dsts.discard(pkt.pause_dst)
+            self._drain(pkt.pause_dst)
+            return True
+        return False
+
+    def _drain(self, dst: int) -> None:
+        """Start releasing a destination's VOQ after a resume.
+
+        Moves packets only while the egress has room below the pause
+        threshold; the rest trickles out from :meth:`_drain_into` as
+        the port dequeues.
+        """
+        voq = self.pool.lookup(dst)
+        if voq is None:
+            return
+        sw = self.switch
+        while voq is not None and voq.packets:
+            head = voq.packets[0]
+            if head.dst in self.paused_dsts:
+                break  # shared VOQ: a still-paused dst blocks the head
+            out = sw.route_for_dst(head.dst)
+            if sw.ports[out].data_bytes_queued >= self.config.pause_threshold:
+                break
+            pkt = self.pool.pop(voq)
+            sw.enqueue_data(
+                pkt, out, queue_idx=self.incast_queue[out], already_charged=True
+            )
+            self._maybe_resume(pkt.dst, self.pool.dst_backlog(pkt.dst))
+            voq = self.pool.lookup(dst)
+
+
+def install_pfc_tag(
+    sim: Simulator,
+    topology: Topology,
+    config: PfcTagConfig,
+    extensions: List[object],
+) -> None:
+    """Install PFC w/ tag on every switch."""
+    for sw in topology.switches:
+        ext = PfcTagExtension(sim, config)
+        sw.install_extension(ext)
+        extensions.append(ext)

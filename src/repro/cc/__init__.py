@@ -1,0 +1,28 @@
+"""Host congestion control: DCQCN, TIMELY, HPCC, and the flow model.
+
+Each algorithm reimplements the control law from its paper.  Following
+Floodgate's methodology (§6), every host also enforces a per-flow
+sending window (one BDP by default) that models the first-RTT behaviour
+of production RoCE stacks.
+"""
+
+from repro.cc.flow import Flow
+from repro.cc.base import CcAlgorithm, StaticWindowCc
+from repro.cc.dcqcn import Dcqcn, DcqcnConfig
+from repro.cc.dctcp import Dctcp, DctcpConfig
+from repro.cc.timely import Timely, TimelyConfig
+from repro.cc.hpcc import Hpcc, HpccConfig
+
+__all__ = [
+    "Flow",
+    "CcAlgorithm",
+    "StaticWindowCc",
+    "Dcqcn",
+    "DcqcnConfig",
+    "Dctcp",
+    "DctcpConfig",
+    "Timely",
+    "TimelyConfig",
+    "Hpcc",
+    "HpccConfig",
+]

@@ -1,0 +1,107 @@
+"""DCTCP (Alizadeh et al., SIGCOMM '10).
+
+The original ECN-fraction congestion control the paper lists among the
+reactive protocols (§2.3).  Window-based:
+
+* the receiver echoes ECN marks on ACKs (our ACKs carry the data
+  packet's mark bit via the CNP-less ``ecn_echo`` convention below);
+* once per RTT the sender updates ``alpha = (1-g) alpha + g F`` where
+  ``F`` is the marked fraction of that window, and on any mark cuts
+  ``cwnd *= 1 - alpha/2``;
+* unmarked windows grow additively (one MSS per RTT, slow-start
+  omitted as flows start at line rate per the paper's methodology).
+
+Included beyond the paper's three evaluated protocols because §8's
+compatibility discussion names DCTCP explicitly — it lets users check
+the "compatible with different congestion control" claim directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.cc.base import CcAlgorithm
+from repro.cc.flow import Flow
+from repro.units import MTU
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.packet import Packet
+
+
+@dataclass(frozen=True)
+class DctcpConfig:
+    """DCTCP parameters (defaults per the paper)."""
+
+    base_rtt: int
+    g: float = 1.0 / 16.0
+    min_window_bytes: int = MTU
+
+
+class Dctcp(CcAlgorithm):
+    """DCTCP sender."""
+
+    name = "dctcp"
+
+    def __init__(
+        self,
+        line_rate: float,
+        swnd_bytes: int,
+        config: DctcpConfig,
+    ) -> None:
+        super().__init__(line_rate, swnd_bytes)
+        self.config = config
+
+    def on_flow_start(self, flow: Flow, now: int) -> None:
+        cc = flow.cc
+        cc.window = self.swnd_bytes
+        cc.alpha = 0.0
+        cc.acked_in_window = 0
+        cc.marked_in_window = 0
+        # -1: the observation-window boundary is pinned lazily on the
+        # first ACK, once we know how much was actually outstanding
+        cc.window_end_seq = -1
+        self._apply(flow)
+
+    def on_ack(self, flow: Flow, pkt: "Packet", now: int) -> None:
+        cc = flow.cc
+        if cc.window_end_seq < 0:
+            cc.window_end_seq = flow.next_seq
+        cc.acked_in_window += 1
+        if pkt.ecn_marked:
+            cc.marked_in_window += 1
+        if pkt.seq >= cc.window_end_seq:
+            # one RTT's worth of ACKs observed: update alpha + window
+            if cc.acked_in_window > 0:
+                fraction = cc.marked_in_window / cc.acked_in_window
+                g = self.config.g
+                cc.alpha = (1.0 - g) * cc.alpha + g * fraction
+                if cc.marked_in_window > 0:
+                    cc.window = max(
+                        self.config.min_window_bytes,
+                        int(cc.window * (1.0 - cc.alpha / 2.0)),
+                    )
+                else:
+                    cc.window = min(
+                        self.swnd_bytes, cc.window + flow.mtu
+                    )
+            cc.acked_in_window = 0
+            cc.marked_in_window = 0
+            cc.window_end_seq = flow.next_seq
+            self._apply(flow)
+
+    def on_timeout(self, flow: Flow, now: int) -> None:
+        cc = flow.cc
+        cc.window = max(self.config.min_window_bytes, cc.window // 2)
+        self._apply(flow)
+
+    def _apply(self, flow: Flow) -> None:
+        cc = flow.cc
+        flow.cwnd_bytes = cc.window
+        flow.rate = min(
+            self.line_rate,
+            max(
+                self.line_rate * 0.001,
+                cc.window * 8 * 1e9 / self.config.base_rtt,
+            ),
+        )

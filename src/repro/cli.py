@@ -1,0 +1,95 @@
+"""Command-line entry point: run one paper experiment and print it.
+
+Usage::
+
+    floodgate-experiment list
+    floodgate-experiment run fig10 [--full]
+    floodgate-experiment run tab02
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import json
+import sys
+import time
+from typing import Dict
+
+#: experiment id -> (module, one-line description)
+EXPERIMENTS: Dict[str, tuple[str, str]] = {
+    "fig02": ("fig02_throughput", "realtime throughput under incastmix"),
+    "fig06": ("fig06_testbed", "testbed: FCT + per-hop buffers"),
+    "fig07": ("fig07_workloads", "workload flow-size CDFs"),
+    "fig08": ("fig08_fct", "avg/p99 FCT of Poisson flows"),
+    "fig09": ("fig09_victims", "FCT by flow class (victims)"),
+    "fig10": ("fig10_buffer", "max switch buffer occupancy"),
+    "tab02": ("tab02_pfc", "PFC pause time by node level"),
+    "fig11": ("fig11_realloc", "per-hop buffers + queueing split"),
+    "fig12": ("fig12_loss", "robustness to packet loss"),
+    "fig13": ("fig13_fattree", "3-tier fat-tree topology"),
+    "fig14": ("fig14_scaleup", "buffer vs number of ToRs"),
+    "fig15": ("fig15_successive", "successive incasts + per-dst PAUSE"),
+    "fig16": ("fig16_ecn", "convergence vs ECN thresholds"),
+    "fig17": ("fig17_params", "parameter sweeps (T, delayCredit)"),
+    "fig18": ("fig18_overhead", "bandwidth overhead breakdown"),
+    "fig20": ("fig20_bfc", "comparison with BFC"),
+    "fig21": ("fig21_incast_fct", "incast flows' own FCT"),
+    "fig22": ("fig22_poisson", "pure Poisson scenarios"),
+    "fig23": ("fig23_ndp", "comparison with NDP"),
+    "fig24": ("fig24_pfctag", "comparison with PFC w/ tag"),
+    "sec74": ("sec74_resources", "switch resource overhead"),
+}
+
+
+def _print_result(obj, indent: int = 0) -> None:
+    """Readable nested-dict dump (numbers rounded)."""
+
+    def default(x):
+        return round(x, 3) if isinstance(x, float) else str(x)
+
+    print(json.dumps(obj, indent=2, default=default))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="floodgate-experiment",
+        description="Reproduce one figure/table from the Floodgate paper.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list reproducible experiments")
+    run_p = sub.add_parser("run", help="run one experiment")
+    run_p.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    run_p.add_argument(
+        "--full",
+        action="store_true",
+        help="full CI-scale parameters instead of the quick bench scale",
+    )
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for key, (_, desc) in EXPERIMENTS.items():
+            print(f"{key:7s} {desc}")
+        return 0
+
+    module_name, desc = EXPERIMENTS[args.experiment]
+    module = importlib.import_module(f"repro.experiments.figures.{module_name}")
+    print(f"Running {args.experiment}: {desc} ...", file=sys.stderr)
+    start = time.monotonic()
+    if args.experiment == "fig07":
+        result = module.run()
+        result.pop("cdf", None)  # too verbose for a terminal
+    else:
+        result = module.run(quick=not args.full)
+    elapsed = time.monotonic() - start
+    # series data is for plotting, not terminals
+    if isinstance(result, dict):
+        result.pop("series", None)
+        result.pop("cdf", None)
+    _print_result(result)
+    print(f"done in {elapsed:.1f}s", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

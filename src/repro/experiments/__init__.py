@@ -1,0 +1,12 @@
+"""Experiment harness: scenario construction, runner, per-figure modules.
+
+Every figure/table in the paper has a module under
+``repro.experiments.figures`` that builds the right
+:class:`ScenarioConfig`, runs it, and returns the rows/series the paper
+reports.  Benchmarks under ``benchmarks/`` call those modules.
+"""
+
+from repro.experiments.scenario import Scale, Scenario, ScenarioConfig
+from repro.experiments.runner import ScenarioResult, run_scenario
+
+__all__ = ["Scale", "Scenario", "ScenarioConfig", "ScenarioResult", "run_scenario"]

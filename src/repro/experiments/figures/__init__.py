@@ -1,0 +1,8 @@
+"""One module per paper figure/table.
+
+Each module exposes ``run(quick=True, ...)`` returning a plain dict of
+rows/series shaped like the paper's result, and the benchmarks print
+them.  ``quick=True`` shrinks durations/host counts for bench time;
+``quick=False`` uses the full CI-scale defaults (see DESIGN.md's
+per-experiment index and EXPERIMENTS.md for paper-vs-measured).
+"""

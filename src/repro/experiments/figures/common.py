@@ -1,0 +1,92 @@
+"""Shared helpers for the figure modules."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.experiments.runner import ScenarioResult, run_scenario
+from repro.experiments.scenario import ScenarioConfig
+
+#: the three protocol variants most figures compare
+VARIANTS = {
+    "baseline": "none",
+    "ideal": "floodgate-ideal",
+    "floodgate": "floodgate",
+}
+
+#: per-hop port roles in 2-tier topologies, in packet-path order
+LEAF_SPINE_ROLES = ["tor-up", "core", "tor-down"]
+#: per-hop port roles in the 3-tier fat tree (Fig. 13)
+FAT_TREE_ROLES = ["edge-up", "agg-up", "core", "agg-down", "edge-down"]
+
+
+def quick_overrides(quick: bool) -> dict:
+    """Topology/duration shrink for bench-time runs.
+
+    The buffer shrinks with the host count so the incast burst stays
+    comparable to the shared buffer (the ratio that drives the PFC and
+    HOL dynamics every incastmix figure depends on).
+    """
+    if not quick:
+        return {}
+    # incast_load 0.8 shortens the burst interval so the 600 us window
+    # still covers several incast rounds
+    # fan-in 16 wraps the 12 eligible senders so the burst stays
+    # comparable to the shared buffer and to the spine link's drain
+    # rate (the ratios that create the HOL/PFC pressure the incastmix
+    # figures measure)
+    return dict(
+        n_tors=4,
+        hosts_per_tor=4,
+        duration=600_000,
+        buffer_bytes=500_000,
+        incast_load=0.8,
+        incast_fan_in=16,
+    )
+
+
+def incastmix_base(
+    quick: bool, workload: str, cc: str = "dcqcn", **kw
+) -> ScenarioConfig:
+    """The standard §6.1 incastmix scenario at bench or CI scale."""
+    params = dict(cc=cc, workload=workload, **quick_overrides(quick))
+    params.update(kw)
+    return ScenarioConfig(**params)
+
+
+def run_variants(
+    base: ScenarioConfig,
+    variants: Optional[Dict[str, str]] = None,
+    **overrides,
+) -> Dict[str, ScenarioResult]:
+    """Run the same scenario under several flow-control variants."""
+    out: Dict[str, ScenarioResult] = {}
+    for label, fc in (variants or VARIANTS).items():
+        cfg = replace(base, flow_control=fc, **overrides)
+        out[label] = run_scenario(cfg)
+    return out
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Align a small result table for terminal output."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def fct_row(result: ScenarioResult) -> List[float]:
+    """[avg_us, p99_us] of the Poisson (non-incast) flows."""
+    s = result.poisson_fct
+    return [round(s.avg_us, 1), round(s.p99_us, 1)]

@@ -1,0 +1,33 @@
+"""Fig. 7: flow-size CDFs of the four evaluation workloads.
+
+Checks the qualitative properties the paper highlights: Memcached is
+dominated by sub-KB flows, and in the other three a small fraction of
+large flows carries most of the bytes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+from repro.workloads.distributions import WORKLOADS
+
+
+def run(samples: int = 20_000, seed: int = 7) -> Dict:
+    out: Dict = {"cdf": {}, "properties": {}}
+    for name, dist in WORKLOADS.items():
+        rng = random.Random(seed)
+        draws = sorted(dist.sample(rng) for _ in range(samples))
+        n = len(draws)
+        frac_below_1kb = sum(1 for v in draws if v <= 1_000) / n
+        mean = sum(draws) / n
+        # bytes carried by the largest 10% of flows
+        top10_bytes = sum(draws[int(0.9 * n):])
+        out["cdf"][name] = dist.cdf()
+        out["properties"][name] = {
+            "frac_below_1kb": frac_below_1kb,
+            "mean_bytes": mean,
+            "median_bytes": draws[n // 2],
+            "top10pct_byte_share": top10_bytes / sum(draws),
+        }
+    return out

@@ -1,0 +1,37 @@
+"""Fig. 8: avg/p99 FCT of Poisson flows under incastmix.
+
+The paper's headline grid: {DCQCN, TIMELY, HPCC} x {alone, +ideal,
++Floodgate} x four workloads.  Floodgate reduces average FCTs by
+10.1-98.1 % and p99 by 1.1-207x; the effect is strongest on
+Memcached/Web Server (small flows hurt most by queueing) and milder on
+Hadoop/Web Search (large flows dominate the mean).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from repro.experiments.figures.common import incastmix_base, run_variants
+
+
+def run(
+    quick: bool = True,
+    ccs: Iterable[str] = ("dcqcn",),
+    workloads: Iterable[str] = ("memcached", "webserver"),
+) -> Dict:
+    """Returns {cc: {workload: {variant: {avg_us, p99_us}}}}."""
+    out: Dict = {}
+    for cc in ccs:
+        out[cc] = {}
+        for workload in workloads:
+            base = incastmix_base(quick, workload, cc=cc)
+            results = run_variants(base)
+            out[cc][workload] = {
+                label: {
+                    "avg_us": r.poisson_fct.avg_us,
+                    "p99_us": r.poisson_fct.p99_us,
+                    "pfc_events": r.stats.pfc_pause_events,
+                }
+                for label, r in results.items()
+            }
+    return out

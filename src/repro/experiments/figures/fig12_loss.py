@@ -1,0 +1,63 @@
+"""Fig. 12: robustness to manufactured packet loss (§6.2).
+
+Bernoulli loss is injected on every switch-to-switch link (data AND
+credit packets are equally at risk — exactly the window-vanishing
+hazard §4.3's PSN/switchSYN recovery addresses).  The paper reports
+no visible throughput effect at 5 % loss and only small fluctuations
+at 10 %.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenario import Scenario, ScenarioConfig
+from repro.net.switch import Switch
+from repro.stats.timeseries import ThroughputMonitor
+from repro.units import us
+
+
+def run(
+    quick: bool = True,
+    loss_rates: Iterable[float] = (0.0, 0.05, 0.10),
+) -> Dict:
+    duration = 400_000 if quick else 1_500_000
+    out: Dict = {"series": {}, "summary": {}}
+    for rate in loss_rates:
+        cfg = ScenarioConfig(
+            workload="webserver",
+            pattern="incast",
+            flow_control="floodgate",
+            duration=duration,
+            n_tors=3 if quick else 0,
+            hosts_per_tor=4 if quick else 0,
+            max_runtime_factor=20.0,
+        )
+        sc = Scenario(cfg)
+        if rate > 0:
+            rng = sc.rng.stream("link-loss")
+            for link in sc.topology.links:
+                if isinstance(link.node_a, Switch) and isinstance(
+                    link.node_b, Switch
+                ):
+                    link.set_loss(rate, rng)
+        hosts = sc.topology.hosts
+        monitor = ThroughputMonitor(
+            sc.sim,
+            {"total": lambda hs=hosts: sum(h.rx_data_bytes for h in hs)},
+            interval=us(20),
+        )
+        monitor.start()
+        result = run_scenario(cfg, scenario=sc)
+        monitor.stop()
+        key = f"{rate:.0%}"
+        out["series"][key] = monitor.series("total")
+        syn_sent = sum(getattr(ext, "syn_sent", 0) for ext in sc.extensions)
+        out["summary"][key] = {
+            "completion_rate": result.completion_rate,
+            "mean_gbps": monitor.mean_after("total"),
+            "link_drops": sum(l.dropped_packets for l in sc.topology.links),
+            "switch_syn_sent": syn_sent,
+        }
+    return out

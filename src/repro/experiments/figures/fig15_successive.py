@@ -1,0 +1,67 @@
+"""Fig. 15: successive incasts and the per-dst PAUSE trade-off (§6.3).
+
+Incast bursts are generated back to back, each targeting a *different*
+destination.  DCQCN fills the destination ToR and core buffers and
+eventually storms PFC; Floodgate's source-ToR (ToR-Up) occupancy grows
+with the number of rounds (it is the gate-keeper); Floodgate with
+per-dst PAUSE pushes the backlog all the way into the source hosts,
+keeping all switch buffers tiny.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenario import Scenario, ScenarioConfig
+from repro.workloads.incast import successive_incast
+
+
+def run(
+    quick: bool = True,
+    round_counts: Iterable[int] = (),
+) -> Dict:
+    round_counts = tuple(round_counts) or ((2, 4) if quick else (4, 8, 16))
+    variants = (
+        ("dcqcn", "none", False),
+        ("dcqcn+floodgate", "floodgate", False),
+        ("dcqcn+floodgate(per-dst pause)", "floodgate", True),
+    )
+    out: Dict = {}
+    for label, fc, pause in variants:
+        out[label] = {}
+        for rounds in round_counts:
+            cfg = ScenarioConfig(
+                pattern="none",
+                flow_control=fc,
+                per_dst_pause=pause,
+                n_tors=3 if quick else 4,
+                hosts_per_tor=4,
+                duration=200_000,
+                max_runtime_factor=60.0,
+                # short host links: the dstPause control loop is one
+                # hop and must be fast relative to a burst (as at the
+                # paper's 100 Gbps scale); swnd_bdp=4 keeps incast
+                # flows whole-window "blasts" despite the smaller BDP
+                host_link_delay=1_000,
+                swnd_bdp=4.0,
+            )
+            sc = Scenario(cfg)
+            rng = sc.rng.stream("successive")
+            hosts = [h.node_id for h in sc.topology.hosts]
+            # destinations rotate across racks; bursts arrive back to
+            # back (every 20 us) so backlogs stack
+            dsts = [hosts[i % len(hosts)] for i in range(rounds)]
+            spec = successive_incast(hosts, dsts, interval=20_000, rng=rng)
+            for f in spec.flows:
+                sc.stats.register_incast_flow(f.flow_id)
+            sc.flows = spec.flows
+            r = run_scenario(cfg, scenario=sc)
+            out[label][rounds] = {
+                "tor-up_mb": r.max_port_buffer_mb("tor-up"),
+                "core_mb": r.max_port_buffer_mb("core"),
+                "tor-down_mb": r.max_port_buffer_mb("tor-down"),
+                "pfc_events": r.stats.pfc_pause_events,
+                "completion": r.completion_rate,
+            }
+    return out

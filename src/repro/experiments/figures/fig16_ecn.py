@@ -1,0 +1,84 @@
+"""Fig. 16: convergence under different ECN-marking thresholds (§6.4).
+
+Flows to one receiver arrive periodically, spaced far enough apart for
+congestion control to converge between arrivals.  Two observations
+the paper draws:
+
+* DCQCN's destination-ToR buffer cannot converge — every flow keeps
+  at least one packet in flight, so occupancy grows with the flow
+  count past the ``Kmax`` inflection;
+* Floodgate's buffer converges to a level set by its initial window
+  and topology, insensitive to the ECN thresholds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenario import Scenario, ScenarioConfig
+from repro.stats.timeseries import BufferSampler
+from repro.units import us
+from repro.workloads.poisson import FlowSpec
+
+
+def run(
+    quick: bool = True,
+    n_flows: int = 0,
+    ecn_settings: Iterable[Tuple[int, int]] = (),
+) -> Dict:
+    n_flows = n_flows or (24 if quick else 80)
+    ecn_settings = tuple(ecn_settings) or ((20_000, 80_000), (20_000, 20_000))
+    interval = 40_000  # ns between flow arrivals: room to converge
+    out: Dict = {}
+    for kmin, kmax in ecn_settings:
+        key = f"kmin={kmin//1000}KB,kmax={kmax//1000}KB"
+        out[key] = {}
+        for label, fc in (
+            ("dcqcn", "none"),
+            ("dcqcn+ideal", "floodgate-ideal"),
+            ("dcqcn+floodgate", "floodgate"),
+        ):
+            cfg = ScenarioConfig(
+                pattern="none",
+                flow_control=fc,
+                ecn_kmin=kmin,
+                ecn_kmax=kmax,
+                n_tors=3,
+                hosts_per_tor=4,
+                duration=n_flows * interval,
+                max_runtime_factor=30.0,
+            )
+            sc = Scenario(cfg)
+            hosts = [h.node_id for h in sc.topology.hosts]
+            dst = hosts[0]
+            rng = sc.rng.stream("fig16")
+            flows = []
+            for i in range(n_flows):
+                src = hosts[1 + (i % (len(hosts) - 1))]
+                # long-lived flows: keep transmitting past the horizon
+                flows.append(
+                    FlowSpec(i, src, dst, size=400_000, start_time=i * interval)
+                )
+            sc.flows = flows
+            tor0 = sc.topology.switches_of_kind("tor")[0]
+            dst_port = tor0.connected_hosts[dst]
+            sampler = BufferSampler(
+                sc.sim,
+                {"tor-down": lambda t=tor0, p=dst_port: t.port_occupancy(p)},
+                interval=us(10),
+            )
+            sampler.start()
+            run_scenario(cfg, scenario=sc)
+            sampler.stop()
+            # buffer level observed just before each flow arrival
+            series = [
+                (i, sampler.value_at("tor-down", (i + 1) * interval))
+                for i in range(n_flows)
+            ]
+            out[key][label] = {
+                "buffer_vs_flows": series,
+                "final_kb": series[-1][1] / 1000 if series else 0,
+                "mid_kb": series[n_flows // 2][1] / 1000 if series else 0,
+            }
+    return out

@@ -1,0 +1,83 @@
+"""Fig. 17: parameter selection — credit timer T and delayCredit (§6.5).
+
+(a) larger T -> less credit bandwidth;
+(b) larger T -> larger initial windows -> less ToR-Up buffering but
+    more at the aggregation points;
+(c) larger T -> longer FCT (incast controlled less tightly);
+(d) the delayCredit threshold has a wide robust range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Iterable
+
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenario import ScenarioConfig
+from repro.floodgate.config import FloodgateConfig
+from repro.units import us
+
+
+def run_credit_timer(
+    quick: bool = True,
+    timers_us: Iterable[float] = (),
+) -> Dict:
+    timers_us = tuple(timers_us) or ((1, 2, 8) if quick else (1, 2, 5, 10, 20))
+    duration = 300_000 if quick else 1_000_000
+    out: Dict = {}
+    for t in timers_us:
+        cfg = ScenarioConfig(
+            workload="webserver",
+            flow_control="floodgate",
+            floodgate=FloodgateConfig(credit_timer=us(t)),
+            duration=duration,
+            n_tors=3 if quick else 0,
+            hosts_per_tor=4 if quick else 0,
+            track_bandwidth=True,
+        )
+        r = run_scenario(cfg)
+        total_tx = sum(r.stats.tx_bytes_by_category.values()) or 1
+        s = r.poisson_fct
+        out[t] = {
+            "credit_share_pct": 100.0
+            * r.stats.tx_bytes_by_category["credit"]
+            / total_tx,
+            "tor-up_mb": r.max_port_buffer_mb("tor-up"),
+            "core_mb": r.max_port_buffer_mb("core"),
+            "tor-down_mb": r.max_port_buffer_mb("tor-down"),
+            "avg_fct_us": s.avg_us,
+            "p99_fct_us": s.p99_us,
+        }
+    return out
+
+
+def run_delay_credit(
+    quick: bool = True,
+    multiples: Iterable[float] = (),
+) -> Dict:
+    multiples = tuple(multiples) or ((1, 2, 10) if quick else (1, 2, 5, 10, 25, 50))
+    duration = 300_000 if quick else 1_000_000
+    out: Dict = {}
+    for m in multiples:
+        cfg = ScenarioConfig(
+            workload="webserver",
+            flow_control="floodgate",
+            delay_credit_bdp=m,
+            duration=duration,
+            n_tors=3 if quick else 0,
+            hosts_per_tor=4 if quick else 0,
+        )
+        r = run_scenario(cfg)
+        out[m] = {
+            "tor-up_mb": r.max_port_buffer_mb("tor-up"),
+            "core_mb": r.max_port_buffer_mb("core"),
+            "tor-down_mb": r.max_port_buffer_mb("tor-down"),
+        }
+    return out
+
+
+def run(quick: bool = True) -> Dict:
+    return {
+        "credit_timer": run_credit_timer(quick),
+        "delay_credit": run_delay_credit(quick),
+    }

@@ -1,0 +1,39 @@
+"""Fig. 22 (Appendix A.2): pure Poisson scenarios — Floodgate is free.
+
+With no incast, no flow is ever misclassified: DCQCN+Floodgate should
+match plain DCQCN almost exactly (and use essentially no VOQs), while
+the ideal design pays a small per-packet-credit overhead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from repro.experiments.figures.common import run_variants
+from repro.experiments.scenario import ScenarioConfig
+
+
+def run(
+    quick: bool = True,
+    workloads: Iterable[str] = ("memcached", "hadoop"),
+) -> Dict:
+    duration = 300_000 if quick else 1_500_000
+    out: Dict = {}
+    for workload in workloads:
+        base = ScenarioConfig(
+            workload=workload,
+            pattern="poisson",
+            duration=duration,
+            n_tors=3 if quick else 0,
+            hosts_per_tor=4 if quick else 0,
+        )
+        results = run_variants(base)
+        out[workload] = {
+            label: {
+                "avg_us": r.poisson_fct.avg_us,
+                "p99_us": r.poisson_fct.p99_us,
+                "max_voqs": r.max_voqs_used,
+            }
+            for label, r in results.items()
+        }
+    return out

@@ -1,0 +1,46 @@
+"""Fig. 23 (Appendix B): comparison with NDP under incastmix.
+
+Paper: NDP beats DCQCN (shallow queues from trimming) but loses to
+DCQCN+Floodgate for non-incast flows — trimming hits innocent flows
+once incast has depleted the queue to the cut-payload threshold, and
+retransmissions cost at least an RTT.  NDP also *prolongs* incast
+flows because trimmed headers consume significant bottleneck
+bandwidth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from repro.experiments.figures.common import incastmix_base
+from repro.experiments.runner import run_scenario
+
+
+def run(
+    quick: bool = True,
+    workloads: Iterable[str] = ("memcached",),
+) -> Dict:
+    variants = (
+        ("dcqcn", "dcqcn", "none"),
+        ("dcqcn+floodgate", "dcqcn", "floodgate"),
+        ("ndp", "static", "ndp"),
+    )
+    out: Dict = {}
+    for workload in workloads:
+        out[workload] = {}
+        for label, cc, fc in variants:
+            cfg = incastmix_base(quick, workload, cc=cc, flow_control=fc)
+            r = run_scenario(cfg)
+            p, i = r.poisson_fct, r.incast_fct
+            trimmed = sum(
+                getattr(ext, "trimmed_packets", 0)
+                for ext in r.scenario.extensions
+            )
+            out[workload][label] = {
+                "nonincast_avg_us": p.avg_us,
+                "nonincast_p99_us": p.p99_us,
+                "incast_avg_us": i.avg_us,
+                "incast_p99_us": i.p99_us,
+                "trimmed_packets": trimmed,
+            }
+    return out

@@ -1,0 +1,33 @@
+"""Table 2: total PFC pause time by node level under DCQCN.
+
+The paper's table shows PFC triggered at the core under every
+workload, and additionally at ToRs and hosts (a pause-frame storm)
+under Web Server.  With Floodgate, PFC never triggers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Iterable
+
+from repro.experiments.figures.common import incastmix_base
+from repro.experiments.runner import run_scenario
+
+
+def run(
+    quick: bool = True,
+    workloads: Iterable[str] = ("memcached", "webserver"),
+) -> Dict:
+    """Returns {workload: {level: paused_us}} for DCQCN and +Floodgate."""
+    out: Dict = {"dcqcn": {}, "dcqcn+floodgate": {}}
+    for workload in workloads:
+        base = incastmix_base(quick, workload)
+        for label, fc in (("dcqcn", "none"), ("dcqcn+floodgate", "floodgate")):
+            r = run_scenario(replace(base, flow_control=fc))
+            out[label][workload] = {
+                "host_us": r.pfc_paused_us("host"),
+                "tor_us": r.pfc_paused_us("tor"),
+                "core_us": r.pfc_paused_us("core"),
+                "events": r.stats.pfc_pause_events,
+            }
+    return out

@@ -1,0 +1,125 @@
+"""Run a scenario to completion and package the results.
+
+The runner drives the simulator in chunks, stopping early once every
+scheduled flow has delivered all its bytes (plus a drain margin), and
+then extracts the aggregates the paper's figures report.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.experiments.scenario import Scenario, ScenarioConfig
+from repro.stats.collector import FlowClass, StatsHub
+from repro.stats.fct import FctSummary, summarize_fct
+from repro.units import us
+
+
+@dataclass
+class ScenarioResult:
+    """Everything a figure needs from one run."""
+
+    config: ScenarioConfig
+    stats: StatsHub
+    scenario: Scenario
+    completed_flows: int = 0
+    total_flows: int = 0
+    sim_time: int = 0
+    wall_seconds: float = 0.0
+    events: int = 0
+
+    # -- FCT ---------------------------------------------------------------------
+
+    @property
+    def poisson_fct(self) -> FctSummary:
+        """Avg/p99 over all non-incast flows (the paper's Fig. 8 metric)."""
+        return summarize_fct(self.stats.fct_of_class(None))
+
+    @property
+    def incast_fct(self) -> FctSummary:
+        return summarize_fct(self.stats.fct_of_class(FlowClass.INCAST))
+
+    def fct_summary(self, cls: Optional[FlowClass]) -> FctSummary:
+        return summarize_fct(self.stats.fct_of_class(cls))
+
+    # -- buffers ------------------------------------------------------------------
+
+    @property
+    def max_switch_buffer_mb(self) -> float:
+        return self.stats.max_switch_buffer / 1e6
+
+    def max_port_buffer_mb(self, role: str) -> float:
+        return self.stats.max_port_buffer_by_role(role) / 1e6
+
+    def per_hop_buffers_mb(self, roles: List[str]) -> Dict[str, float]:
+        return {r: self.max_port_buffer_mb(r) for r in roles}
+
+    # -- PFC ----------------------------------------------------------------------
+
+    def pfc_paused_us(self, node_kind: str) -> float:
+        return self.stats.total_pfc_paused_us(node_kind)
+
+    @property
+    def pfc_triggered(self) -> bool:
+        return self.stats.pfc_pause_events > 0
+
+    # -- Floodgate internals ---------------------------------------------------------
+
+    @property
+    def max_voqs_used(self) -> int:
+        return max(
+            (
+                ext.pool.max_in_use
+                for ext in self.scenario.extensions
+                if hasattr(ext, "pool")
+            ),
+            default=0,
+        )
+
+    @property
+    def completion_rate(self) -> float:
+        if self.total_flows == 0:
+            return 1.0
+        return self.completed_flows / self.total_flows
+
+
+def run_scenario(
+    config: ScenarioConfig,
+    scenario: Optional[Scenario] = None,
+    check_interval: int = us(100),
+) -> ScenarioResult:
+    """Build (unless given), schedule, and run a scenario to completion."""
+    wall_start = time.monotonic()
+    sc = scenario if scenario is not None else Scenario(config)
+    sc.schedule_flows()
+    sim = sc.sim
+    cfg = sc.config
+    total = len(sc.topology.flow_table)
+    hard_end = int(cfg.duration * cfg.max_runtime_factor)
+    table = sc.topology.flow_table
+    while True:
+        next_stop = min(sim.now + check_interval, hard_end)
+        sim.run(until=next_stop)
+        done = sum(1 for f in table.values() if f.receiver_done)
+        if done >= total or sim.now >= hard_end:
+            break
+        if sim.peek_next_time() is None:
+            break  # drained without completing (e.g. unrecovered loss)
+    sc.topology.report_pause_times()
+    for ext in sc.extensions:
+        stop = getattr(ext, "stop", None)
+        if stop is not None:
+            stop()
+    done = sum(1 for f in table.values() if f.receiver_done)
+    return ScenarioResult(
+        config=cfg,
+        stats=sc.stats,
+        scenario=sc,
+        completed_flows=done,
+        total_flows=total,
+        sim_time=sim.now,
+        wall_seconds=time.monotonic() - wall_start,
+        events=sim.events_executed,
+    )

@@ -1,0 +1,451 @@
+"""Scenario construction: topology x congestion control x flow control.
+
+A :class:`ScenarioConfig` names everything an experiment varies; a
+:class:`Scenario` builds the simulator, network, protocol stack, and
+traffic from it.  The two scales:
+
+* ``Scale.PAPER`` — the paper's parameters (100/400 Gbps, 160 hosts,
+  20 MB buffers).  Faithful but far too slow for CI in pure Python.
+* ``Scale.CI`` — bandwidths, host counts, and durations shrunk ~10x
+  with all dimensionless ratios preserved (oversubscription, loads,
+  BDP-relative thresholds), so every result keeps its shape.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import Dict, List, Optional
+
+from repro.cc.base import CcAlgorithm, StaticWindowCc
+from repro.cc.dcqcn import Dcqcn, DcqcnConfig
+from repro.cc.dctcp import Dctcp, DctcpConfig
+from repro.cc.hpcc import Hpcc, HpccConfig
+from repro.cc.timely import Timely, TimelyConfig
+from repro.floodgate.config import FloodgateConfig
+from repro.floodgate.extension import FloodgateExtension
+from repro.net.ecn import EcnConfig, EcnMarker
+from repro.net.host import Host
+from repro.net.switch import Switch
+from repro.net.topology import (
+    Topology,
+    build_dumbbell,
+    build_fat_tree,
+    build_leaf_spine,
+    build_testbed,
+)
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.stats.collector import StatsHub
+from repro.units import bdp_bytes, gbps, mb, ms, us
+from repro.workloads.distributions import WORKLOADS
+from repro.workloads.mix import IncastMix, build_incastmix
+from repro.workloads.poisson import FlowSpec, PoissonGenerator
+
+
+class Scale(str, Enum):
+    """Experiment scale preset (see module docstring)."""
+
+    CI = "ci"
+    PAPER = "paper"
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Everything one experiment run needs."""
+
+    # --- topology -----------------------------------------------------------
+    topology: str = "leaf-spine"  # leaf-spine | fat-tree | testbed | dumbbell
+    scale: Scale = Scale.CI
+    n_spines: int = 0             # 0 -> scale default
+    n_tors: int = 0
+    hosts_per_tor: int = 0
+    fat_tree_k: int = 4
+    hosts_per_edge: int = 2
+    host_bandwidth: float = 0.0   # bits/s; 0 -> scale default
+    fabric_bandwidth: float = 0.0
+    link_delay: int = 0           # ns (switch-switch); 0 -> scale default
+    host_link_delay: int = 0      # ns (host-ToR); 0 -> scale default
+    buffer_bytes: int = 0         # 0 -> scale default
+    per_flow_ecmp: bool = False
+
+    # --- protocol stack ------------------------------------------------------
+    cc: str = "dcqcn"             # dcqcn | dctcp | timely | hpcc | static
+    flow_control: str = "none"    # none | floodgate | floodgate-ideal |
+    #                               bfc | pfc-tag | ndp
+    per_dst_pause: bool = False
+    pfc_enabled: bool = True
+    #: per-flow sending window in base-BDP units (§6: one BDP)
+    swnd_bdp: float = 1.0
+    ecn_kmin: int = 0             # bytes; 0 -> BDP-derived default
+    ecn_kmax: int = 0
+    ecn_pmax: float = 0.2
+    floodgate: Optional[FloodgateConfig] = None  # None -> scale defaults
+    #: delayCredit threshold in BDP units (0 -> scale default: 10 at
+    #: paper scale, 2 at CI scale — see EXPERIMENTS.md scaling notes)
+    delay_credit_bdp: float = 0.0
+    bfc_queues: int = 32          # physical queues/port (bfc); 0 = ideal
+    rto: int = 0                  # ns; 0 -> derived from base RTT
+
+    # --- workload ---------------------------------------------------------------
+    workload: str = "websearch"
+    pattern: str = "incastmix"    # incastmix | poisson | incast | none
+    poisson_load: float = 0.8
+    incast_load: float = 0.5
+    incast_fan_in: int = 0        # 0 -> every host outside the dst rack
+    incast_dst: int = 0
+    duration: int = 0             # ns of traffic generation; 0 -> default
+    seed: int = 1
+
+    # --- run control ------------------------------------------------------------
+    #: hard stop as a multiple of `duration` (lets stragglers finish)
+    max_runtime_factor: float = 8.0
+    track_bandwidth: bool = False
+
+    def resolved(self) -> "ScenarioConfig":
+        """Fill in scale-dependent defaults."""
+        if self.scale is Scale.PAPER:
+            d = dict(
+                n_spines=self.n_spines or 4,
+                n_tors=self.n_tors or 10,
+                hosts_per_tor=self.hosts_per_tor or 16,
+                host_bandwidth=self.host_bandwidth or gbps(100),
+                fabric_bandwidth=self.fabric_bandwidth or gbps(400),
+                link_delay=self.link_delay or 600,
+                host_link_delay=self.host_link_delay or self.link_delay or 600,
+                buffer_bytes=self.buffer_bytes or mb(20),
+                duration=self.duration or ms(4),
+            )
+        else:
+            # CI scale keeps the paper's ratios: host links carry most
+            # of the propagation delay so the *end-to-end* BDP stays
+            # around one incast flow (30-40 MTU ~ 1 BDP, the sub-BDP
+            # regime where CC cannot help), while switch-to-switch hop
+            # BDP stays small so Floodgate's windows are small relative
+            # to the buffer — the paper's hopBDP << C*T regime.  The
+            # incast burst is comparable to the shared buffer so
+            # PFC/drop dynamics appear as they do at 100 Gbps scale.
+            d = dict(
+                n_spines=self.n_spines or 2,
+                n_tors=self.n_tors or 4,
+                hosts_per_tor=self.hosts_per_tor or 8,
+                host_bandwidth=self.host_bandwidth or gbps(10),
+                fabric_bandwidth=self.fabric_bandwidth or gbps(40),
+                link_delay=self.link_delay or 500,
+                host_link_delay=self.host_link_delay or 6_000,
+                buffer_bytes=self.buffer_bytes or 500_000,
+                duration=self.duration or ms(2),
+            )
+        return replace(self, **d)
+
+
+class Scenario:
+    """A built, ready-to-run experiment."""
+
+    def __init__(self, config: ScenarioConfig) -> None:
+        self.config = config.resolved()
+        cfg = self.config
+        self.sim = Simulator()
+        self.stats = StatsHub()
+        self.stats.track_bandwidth = cfg.track_bandwidth
+        self.rng = RngRegistry(cfg.seed)
+        self.flow_table: Dict[int, object] = {}
+        self._hosts_pending_cc: List[Host] = []
+        self.extensions: List[object] = []
+        self.topology = self._build_topology()
+        # hosts and topology share one flow table
+        self.topology.flow_table = self.flow_table
+        self.base_rtt = self.topology.base_rtt
+        self.base_bdp = bdp_bytes(cfg.host_bandwidth, self.base_rtt)
+        self.cc = self._build_cc()
+        for host in self._hosts_pending_cc:
+            host.cc = self.cc
+            host.int_enabled = getattr(self.cc, "needs_int", False)
+            host.rto = cfg.rto or 20 * self.base_rtt
+            host.cnp_enabled = cfg.cc == "dcqcn"
+        self._install_flow_control()
+        self.mix: Optional[IncastMix] = None
+        self.flows: List[FlowSpec] = []
+        self._build_traffic()
+
+    # -- topology ----------------------------------------------------------------
+
+    def _host_factory(self, sim: Simulator, node_id: int, name: str) -> Host:
+        cfg = self.config
+        if cfg.flow_control == "ndp":
+            from repro.baselines.ndp import NdpHost
+
+            host: Host = NdpHost(
+                sim, node_id, name, None, self.flow_table, stats=self.stats
+            )
+        elif cfg.flow_control == "bfc":
+            from repro.baselines.bfc import BfcHost
+
+            host = BfcHost(
+                sim, node_id, name, None, self.flow_table, stats=self.stats
+            )
+        else:
+            host = Host(
+                sim, node_id, name, None, self.flow_table, stats=self.stats
+            )
+        self._hosts_pending_cc.append(host)
+        return host
+
+    def _switch_factory(
+        self, sim: Simulator, node_id: int, name: str, kind: str, level: int
+    ) -> Switch:
+        cfg = self.config
+        ecn = None
+        if cfg.cc in ("dcqcn", "dctcp", "hpcc"):
+            kmin = cfg.ecn_kmin or self._default_kmin()
+            kmax = cfg.ecn_kmax or 4 * kmin
+            ecn = EcnMarker(
+                EcnConfig(kmin, max(kmax, kmin), cfg.ecn_pmax),
+                self.rng.stream(f"ecn:{name}"),
+            )
+        # NDP is lossy by design (trimming replaces lossless fabrics)
+        pfc = cfg.pfc_enabled and cfg.flow_control != "ndp"
+        sw = Switch(
+            sim,
+            node_id,
+            name,
+            buffer_capacity=cfg.buffer_bytes,
+            kind=kind,
+            pfc_enabled=pfc,
+            ecn=ecn,
+            stats=self.stats,
+            int_enabled=(cfg.cc == "hpcc"),
+            per_flow_ecmp=cfg.per_flow_ecmp,
+        )
+        sw.level = level
+        return sw
+
+    def _default_kmin(self) -> int:
+        # ECN marking threshold ~ one base BDP, the conventional setting
+        cfg = self.config
+        approx_rtt = 8 * cfg.link_delay + us(4)
+        return max(10_000, bdp_bytes(cfg.host_bandwidth, approx_rtt))
+
+    def _build_topology(self) -> Topology:
+        cfg = self.config
+        if cfg.topology == "leaf-spine":
+            return build_leaf_spine(
+                self.sim,
+                self._host_factory,
+                self._switch_factory,
+                n_spines=cfg.n_spines,
+                n_tors=cfg.n_tors,
+                hosts_per_tor=cfg.hosts_per_tor,
+                host_bandwidth=cfg.host_bandwidth,
+                spine_bandwidth=cfg.fabric_bandwidth,
+                link_delay=cfg.link_delay,
+                host_link_delay=cfg.host_link_delay,
+            )
+        if cfg.topology == "fat-tree":
+            return build_fat_tree(
+                self.sim,
+                self._host_factory,
+                self._switch_factory,
+                k=cfg.fat_tree_k,
+                hosts_per_edge=cfg.hosts_per_edge,
+                host_bandwidth=cfg.host_bandwidth,
+                fabric_bandwidth=cfg.fabric_bandwidth or cfg.host_bandwidth,
+                link_delay=cfg.link_delay,
+                host_link_delay=cfg.host_link_delay,
+            )
+        if cfg.topology == "testbed":
+            return build_testbed(
+                self.sim,
+                self._host_factory,
+                self._switch_factory,
+                host_bandwidth=cfg.host_bandwidth,
+                core_bandwidth=cfg.fabric_bandwidth,
+                link_delay=cfg.link_delay,
+                host_link_delay=cfg.host_link_delay,
+            )
+        if cfg.topology == "dumbbell":
+            return build_dumbbell(
+                self.sim,
+                self._host_factory,
+                self._switch_factory,
+                hosts_per_side=max(cfg.hosts_per_tor, 2),
+                host_bandwidth=cfg.host_bandwidth,
+                trunk_bandwidth=cfg.fabric_bandwidth,
+                link_delay=cfg.link_delay,
+            )
+        raise ValueError(f"unknown topology {cfg.topology!r}")
+
+    # -- protocol stack -------------------------------------------------------------
+
+    def _build_cc(self) -> CcAlgorithm:
+        cfg = self.config
+        swnd = max(int(cfg.swnd_bdp * self.base_bdp), 2_000)
+        if cfg.cc == "dcqcn":
+            return Dcqcn(cfg.host_bandwidth, swnd, DcqcnConfig())
+        if cfg.cc == "dctcp":
+            return Dctcp(
+                cfg.host_bandwidth, swnd, DctcpConfig(base_rtt=self.base_rtt)
+            )
+        if cfg.cc == "timely":
+            return Timely(
+                cfg.host_bandwidth, swnd, TimelyConfig(base_rtt=self.base_rtt)
+            )
+        if cfg.cc == "hpcc":
+            return Hpcc(
+                cfg.host_bandwidth, swnd, HpccConfig(base_rtt=self.base_rtt)
+            )
+        if cfg.cc == "static":
+            return StaticWindowCc(cfg.host_bandwidth, swnd)
+        raise ValueError(f"unknown congestion control {cfg.cc!r}")
+
+    def _floodgate_config(self, ideal: bool) -> FloodgateConfig:
+        cfg = self.config
+        ci = cfg.scale is Scale.CI
+        if cfg.floodgate is not None:
+            base = cfg.floodgate
+        elif ci:
+            # Preserve the window-to-buffer ratio at CI scale: the
+            # paper's T=10us at 400 Gbps adds ~500 KB to each window
+            # against a 20 MB buffer (2.5%); 2us at 40 Gbps adds 10 KB
+            # against 0.5 MB (2%).
+            base = FloodgateConfig(credit_timer=us(2))
+        else:
+            base = FloodgateConfig()
+        multiple = cfg.delay_credit_bdp or (2.0 if ci else 10.0)
+        base = base.with_base_bdp(self.base_bdp, multiple)
+        return replace(
+            base,
+            ideal=ideal,
+            per_dst_pause=cfg.per_dst_pause or (ideal and base.per_dst_pause),
+        )
+
+    def _install_flow_control(self) -> None:
+        cfg = self.config
+        fc = cfg.flow_control
+        if fc == "none":
+            return
+        if fc in ("floodgate", "floodgate-ideal"):
+            fg_cfg = self._floodgate_config(ideal=(fc == "floodgate-ideal"))
+            if cfg.per_dst_pause:
+                fg_cfg = replace(fg_cfg, per_dst_pause=True)
+            for sw in self.topology.switches:
+                ext = FloodgateExtension(self.sim, fg_cfg)
+                sw.install_extension(ext)
+                self.extensions.append(ext)
+            return
+        if fc == "bfc":
+            from repro.baselines.bfc import BfcConfig, BfcExtension, install_bfc
+
+            bfc_cfg = BfcConfig(
+                n_queues=cfg.bfc_queues,
+                pause_threshold=self.base_bdp,
+            )
+            install_bfc(self.sim, self.topology, bfc_cfg, self.extensions)
+            return
+        if fc == "pfc-tag":
+            from repro.baselines.pfc_tag import PfcTagConfig, install_pfc_tag
+
+            tag_cfg = PfcTagConfig(
+                pause_threshold=2 * self.base_bdp,
+                resume_threshold=self.base_bdp,
+            )
+            install_pfc_tag(self.sim, self.topology, tag_cfg, self.extensions)
+            return
+        if fc == "ndp":
+            from repro.baselines.ndp import NdpSwitchExtension, configure_ndp_hosts
+
+            for sw in self.topology.switches:
+                ext = NdpSwitchExtension(self.sim)
+                sw.install_extension(ext)
+                self.extensions.append(ext)
+            configure_ndp_hosts(self.topology, self.base_rtt)
+            return
+        raise ValueError(f"unknown flow control {fc!r}")
+
+    # -- traffic ------------------------------------------------------------------------
+
+    def rack_of(self) -> Dict[int, int]:
+        """Host id -> rack index (derived from ToR attachment)."""
+        mapping: Dict[int, int] = {}
+        tors = [s for s in self.topology.switches if s.level == 0]
+        for rack, tor in enumerate(tors):
+            for host_id in tor.connected_hosts:
+                mapping[host_id] = rack
+        return mapping
+
+    def incast_senders(self) -> List[int]:
+        """Incast senders: hosts outside the destination's rack.
+
+        ``incast_fan_in`` overrides the burst's flow count; values
+        larger than the eligible host set wrap around (several flows
+        per sender), which is how the successive-incast experiment
+        reaches "hundreds of flows" per burst.
+        """
+        cfg = self.config
+        rack_of = self.rack_of()
+        dst_rack = rack_of[cfg.incast_dst]
+        eligible = [
+            h.node_id
+            for h in self.topology.hosts
+            if rack_of[h.node_id] != dst_rack
+        ]
+        if not cfg.incast_fan_in:
+            return eligible
+        return [eligible[i % len(eligible)] for i in range(cfg.incast_fan_in)]
+
+    def _build_traffic(self) -> None:
+        cfg = self.config
+        if cfg.pattern == "none":
+            return
+        dist = WORKLOADS[cfg.workload]
+        rng = self.rng.stream("workload")
+        hosts = [h.node_id for h in self.topology.hosts]
+        if cfg.pattern == "incastmix":
+            self.mix = build_incastmix(
+                dist,
+                hosts,
+                self.rack_of(),
+                incast_dst=cfg.incast_dst,
+                incast_senders=self.incast_senders(),
+                host_bandwidth=cfg.host_bandwidth,
+                duration=cfg.duration,
+                rng=rng,
+                poisson_load=cfg.poisson_load,
+                incast_load=cfg.incast_load,
+            )
+            self.mix.register(self.stats)
+            self.flows = self.mix.flows
+        elif cfg.pattern == "poisson":
+            gen = PoissonGenerator(
+                dist,
+                hosts,
+                cfg.host_bandwidth,
+                cfg.poisson_load,
+                rng,
+            )
+            self.flows = gen.generate(cfg.duration)
+        elif cfg.pattern == "incast":
+            from repro.workloads.incast import periodic_incast
+
+            spec = periodic_incast(
+                senders=self.incast_senders(),
+                dst=cfg.incast_dst,
+                host_bandwidth=cfg.host_bandwidth,
+                duration=cfg.duration,
+                rng=rng,
+                load=cfg.incast_load,
+            )
+            for f in spec.flows:
+                self.stats.register_incast_flow(f.flow_id)
+            self.flows = spec.flows
+        else:
+            raise ValueError(f"unknown traffic pattern {cfg.pattern!r}")
+
+    def schedule_flows(self, flows: Optional[List[FlowSpec]] = None) -> None:
+        """Register and schedule flow start events."""
+        for spec in flows if flows is not None else self.flows:
+            flow = self.topology.make_flow(
+                spec.flow_id, spec.src, spec.dst, spec.size, spec.start_time
+            )
+            self.topology.start_flow(flow)

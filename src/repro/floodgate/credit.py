@@ -1,0 +1,116 @@
+"""Downstream-side credit generation (§4.1).
+
+The ideal (strawman) design returns one credit per forwarded packet,
+immediately.  The practical design aggregates: a timer per ingress
+port fires every ``T``; for each destination with forwarded-but-
+uncredited packets it emits one ``<dst, count>`` credit — unless that
+destination's VOQ backlog exceeds the *delayCredit* threshold, in
+which case the credits stay owed until the backlog drains (avoiding
+"unnecessary buffer buildup" upstream).
+
+Credits echo the highest PSN forwarded for loss recovery (§4.3).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.floodgate.config import FloodgateConfig
+from repro.sim.engine import Simulator
+from repro.sim.process import PeriodicTask
+
+#: send_fn(ingress_port, dst_host, count, last_psn)
+SendFn = Callable[[int, int, int, int], None]
+#: backlog_fn(dst_host) -> VOQ bytes queued for dst at this switch
+BacklogFn = Callable[[int], int]
+
+
+class CreditScheduler:
+    """Tracks owed credits per (ingress port, destination)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: FloodgateConfig,
+        send_fn: SendFn,
+        backlog_fn: BacklogFn,
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.send_fn = send_fn
+        self.backlog_fn = backlog_fn
+        #: owed credits: port -> {dst: count}
+        self.owed: Dict[int, Dict[int, int]] = {}
+        #: highest PSN forwarded: (port, dst) -> psn
+        self.last_fwd_psn: Dict[tuple[int, int], int] = {}
+        self._timers: Dict[int, PeriodicTask] = {}
+        self.credits_sent = 0
+        self.credits_delayed = 0
+
+    def watch_port(self, port: int) -> None:
+        """Enable credit generation toward the peer on ``port``.
+
+        Only ports whose upstream peer is a Floodgate switch need
+        credits; hosts never maintain windows (§3.2).  The per-port
+        timer is created here but runs lazily: it starts on the first
+        owed credit and stops once the port has nothing left to
+        return, so idle switches cost no events.
+        """
+        self.owed.setdefault(port, {})
+        if not self.config.ideal and port not in self._timers:
+            self._timers[port] = PeriodicTask(
+                self.sim, self.config.credit_timer, self._tick, port
+            )
+
+    def stop(self) -> None:
+        for task in self._timers.values():
+            task.stop()
+
+    # -- data-path hooks ---------------------------------------------------------
+
+    def note_forwarded(self, in_port: int, dst: int, psn: int) -> None:
+        """A data packet from ``in_port`` toward ``dst`` left this switch."""
+        table = self.owed.get(in_port)
+        if table is None:
+            return  # upstream is a host: no credits
+        key = (in_port, dst)
+        if psn > self.last_fwd_psn.get(key, -1):
+            self.last_fwd_psn[key] = psn
+        if self.config.ideal:
+            self.send_fn(in_port, dst, 1, self.last_fwd_psn[key])
+            self.credits_sent += 1
+        else:
+            table[dst] = table.get(dst, 0) + 1
+            timer = self._timers[in_port]
+            if not timer.running:
+                # Stagger the phase by port index so a switch's ports
+                # do not all emit credit bursts in the same instant.
+                timer.start(phase=(in_port * 97) % self.config.credit_timer)
+
+    def answer_syn(self, in_port: int, dst: int) -> None:
+        """switchSYN reply: echo the last forwarded PSN unconditionally."""
+        key = (in_port, dst)
+        psn = self.last_fwd_psn.get(key, -1)
+        table = self.owed.get(in_port)
+        count = table.pop(dst, 0) if table is not None else 0
+        self.send_fn(in_port, dst, count, psn)
+        self.credits_sent += 1
+
+    # -- timer ------------------------------------------------------------------------
+
+    def _tick(self, port: int) -> None:
+        table = self.owed.get(port)
+        if not table:
+            self._timers[port].stop()
+            return
+        threshold = self.config.thre_credit_bytes
+        flushable: List[int] = []
+        for dst in table:
+            if self.backlog_fn(dst) <= threshold:
+                flushable.append(dst)
+            else:
+                self.credits_delayed += 1
+        for dst in flushable:
+            count = table.pop(dst)
+            self.send_fn(port, dst, count, self.last_fwd_psn.get((port, dst), -1))
+            self.credits_sent += 1

@@ -1,0 +1,297 @@
+"""The Floodgate switch extension: where windows, VOQs, credits meet.
+
+Install on every switch *after* the topology is built (ports must
+exist)::
+
+    for sw in topo.switches:
+        sw.install_extension(FloodgateExtension(sim, config))
+
+Data path (§4.2):
+
+1.  Packets for directly-attached hosts bypass Floodgate — the last
+    hop maintains no window (§3.2) — but still earn credits for the
+    upstream switch when they depart.
+2.  If the destination already owns a VOQ, the packet joins it
+    (ordering).
+3.  Otherwise, if the per-dst window has room, the packet is forwarded
+    to the egress queue, the window is consumed, and a PSN assigned.
+4.  Otherwise a VOQ is allocated (bitmap, then same-group CRC-hash
+    fallback) and the packet parked there.
+
+Credits arriving from downstream refill the window (absolute PSN
+reconciliation when loss recovery is on) and trigger VOQ drains.
+Drained packets enter a dedicated lowest-priority egress queue so
+non-incast traffic is never blocked behind them (§7.2's strict
+priority + RR scheduler).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.floodgate.config import FloodgateConfig
+from repro.floodgate.credit import CreditScheduler
+from repro.floodgate.voq import GROUP_DOWN, GROUP_UP, VoqPool
+from repro.floodgate.window import WindowTable
+from repro.net.host import Host
+from repro.net.packet import Packet, PacketKind
+from repro.net.port import EgressPort
+from repro.net.switch import Switch, SwitchExtension
+from repro.sim.engine import Simulator
+from repro.sim.process import PeriodicTask
+from repro.units import CTRL_PKT_SIZE, MTU, SEC, serialization_delay
+
+
+class FloodgateExtension(SwitchExtension):
+    """Per-switch Floodgate state machine."""
+
+    def __init__(self, sim: Simulator, config: FloodgateConfig) -> None:
+        self.sim = sim
+        self.config = config
+        self.windows = WindowTable()
+        self.pool = VoqPool(config.max_voqs)
+        self.credits = CreditScheduler(
+            sim, config, self._send_credit, self.pool.dst_backlog
+        )
+        #: egress queue index for VOQ-drained (incast) traffic, per port
+        self.incast_queue: List[int] = []
+        #: per-dst pause bookkeeping: dst -> paused source host ids
+        self.paused_sources: Dict[int, Set[int]] = {}
+        self._syn_task: Optional[PeriodicTask] = None
+        self.syn_sent = 0
+        self.dst_pauses_sent = 0
+
+    # -- installation -----------------------------------------------------------------
+
+    def attach(self, switch: Switch) -> None:
+        super().attach(switch)
+        for port in switch.ports:
+            self.incast_queue.append(port.add_rr_queues(1))
+            peer = switch.peer(port.index)
+            if isinstance(peer, Switch):
+                self.credits.watch_port(port.index)
+        if self.config.loss_recovery:
+            # Runs lazily: armed whenever data is outstanding, stops
+            # once every (port, dst) pair has been fully credited.
+            self._syn_task = PeriodicTask(
+                self.sim, self.config.syn_timeout, self._syn_scan
+            )
+
+    # -- window sizing ------------------------------------------------------------------
+
+    def _initial_window(self, dst: int) -> int:
+        """Initial per-dst window in packets (§3.2 ideal / §4.2 practical)."""
+        sw = self.switch
+        out = sw.route_for_dst(dst)
+        link = sw.links[out]
+        bw = link.bandwidth
+        hop_rtt = (
+            2 * link.delay
+            + serialization_delay(MTU, bw)
+            + serialization_delay(CTRL_PKT_SIZE, bw)
+        )
+        bdp_pkts = max(1, -(-int(bw * hop_rtt / (8 * SEC)) // MTU))
+        if self.config.ideal:
+            return max(1, int(self.config.m * bdp_pkts + 0.5))
+        timer_pkts = -(-int(bw * self.config.credit_timer / (8 * SEC)) // MTU)
+        return bdp_pkts + timer_pkts
+
+    # -- data path ------------------------------------------------------------------------
+
+    def on_data(self, pkt: Packet, in_port: int, out_port: int) -> bool:
+        sw = self.switch
+        dst = pkt.dst
+        # Remember the upstream's PSN before we stamp our own: the
+        # credit we eventually return must echo *their* sequence.
+        pkt.upstream_psn = pkt.psn
+        if sw.is_last_hop_for(dst):
+            return False  # no window at the last hop (§3.2)
+        voq = self.pool.lookup(dst)
+        if voq is not None:
+            self._park(pkt, out_port, voq)
+            return True
+        win = self.windows.ensure(dst, self._initial_window(dst))
+        if win >= 1:
+            self._forward(pkt, out_port)
+            return True
+        voq = self.pool.allocate(dst, self._group_of(out_port))
+        if voq is None:
+            # pool exhausted, no same-group VOQ: forced bypass (rare)
+            self._forward(pkt, out_port, consume_window=False)
+            return True
+        self._park(pkt, out_port, voq)
+        return True
+
+    def _forward(
+        self, pkt: Packet, out_port: int, consume_window: bool = True
+    ) -> None:
+        """Window-consuming fast path into the normal egress queue."""
+        dst = pkt.dst
+        if consume_window:
+            self.windows.consume(dst)
+        pkt.psn = self.windows.assign_psn(out_port, dst)
+        key = (out_port, dst)
+        self.windows.last_credit_time.setdefault(key, self.sim.now)
+        self._arm_syn_scan()
+        self.switch.enqueue_data(pkt, out_port)
+
+    def _arm_syn_scan(self) -> None:
+        if self._syn_task is not None and not self._syn_task.running:
+            self._syn_task.start()
+
+    def _park(self, pkt: Packet, out_port: int, voq) -> None:
+        """Buffer an incast packet in its VOQ (charged to the pool)."""
+        sw = self.switch
+        buffer = sw.buffer
+        assert buffer is not None
+        if not buffer.admit(pkt.size, pkt.ingress_port):
+            sw.dropped_packets += 1
+            if sw.stats is not None:
+                sw.stats.record_drop()
+            return
+        pkt.no_win = True
+        sw._note_port_bytes(out_port, pkt.size)
+        if sw.stats is not None:
+            sw.stats.record_switch_buffer(sw.name, buffer.used)
+        self.pool.push(voq, pkt)
+        self._maybe_pause_source(pkt)
+
+    def _group_of(self, out_port: int) -> int:
+        """VOQ direction group: is the next hop below or above us?"""
+        peer = self.switch.peer(out_port)
+        if isinstance(peer, Host):
+            return GROUP_DOWN
+        if isinstance(peer, Switch) and peer.level < self.switch.level:
+            return GROUP_DOWN
+        return GROUP_UP
+
+    # -- VOQ drain ----------------------------------------------------------------------------
+
+    def _drain_dst(self, dst: int) -> None:
+        voq = self.pool.lookup(dst)
+        if voq is None:
+            return
+        sw = self.switch
+        while voq.packets:
+            head = voq.packets[0]
+            d = head.dst
+            out = sw.route_for_dst(d)
+            win = self.windows.ensure(d, self._initial_window(d))
+            if win < 1:
+                break
+            pkt = self.pool.pop(voq)
+            self.windows.consume(d)
+            pkt.psn = self.windows.assign_psn(out, d)
+            self.windows.last_credit_time.setdefault((out, d), self.sim.now)
+            self._arm_syn_scan()
+            queue = self.incast_queue[out] if self.config.isolate_incast else 1
+            sw.enqueue_data(pkt, out, queue_idx=queue, already_charged=True)
+            self._maybe_resume_sources(d)
+
+    # -- control path -------------------------------------------------------------------------
+
+    def handle_control(self, pkt: Packet, in_port: int) -> bool:
+        if pkt.kind == PacketKind.CREDIT:
+            for dst, count in pkt.credits or ():
+                if self.config.loss_recovery and pkt.last_psn >= 0:
+                    self.windows.reconcile(in_port, dst, pkt.last_psn, self.sim.now)
+                else:
+                    self.windows.add_credits(dst, count)
+                self._drain_dst(dst)
+            return True
+        if pkt.kind == PacketKind.SWITCH_SYN:
+            self.credits.answer_syn(in_port, pkt.pause_dst)
+            return True
+        return False
+
+    def on_dequeue(self, port: EgressPort, pkt: Packet, queue_idx: int) -> None:
+        if pkt.kind == PacketKind.DATA:
+            self.credits.note_forwarded(
+                pkt.ingress_port, pkt.dst, pkt.upstream_psn
+            )
+
+    def adjusted_qlen(self, pkt: Packet, port: EgressPort) -> Optional[int]:
+        """HPCC co-existence (§8): incast packets report VOQ backlog."""
+        if pkt.no_win:
+            return port.data_bytes_queued + self.pool.total_bytes()
+        return None
+
+    # -- credit emission ---------------------------------------------------------------------------
+
+    def _send_credit(self, port: int, dst: int, count: int, psn: int) -> None:
+        sw = self.switch
+        peer = sw.peer(port)
+        credit = Packet.control(PacketKind.CREDIT, sw.node_id, peer.node_id)
+        credit.credits = [(dst, count)]
+        credit.last_psn = psn
+        sw.ports[port].enqueue_control(credit)
+
+    # -- switchSYN loss recovery -----------------------------------------------------------------------
+
+    def _syn_scan(self) -> None:
+        now = self.sim.now
+        timeout = self.config.syn_timeout
+        pairs = self.windows.exhausted_pairs()
+        if not pairs and self._syn_task is not None:
+            self._syn_task.stop()
+            return
+        for (port, dst) in pairs:
+            last = self.windows.last_credit_time.get((port, dst), now)
+            if now - last >= timeout:
+                peer = self.switch.peer(port)
+                if not isinstance(peer, Switch):
+                    continue  # the last hop is a host: nothing to probe
+                syn = Packet.control(
+                    PacketKind.SWITCH_SYN, self.switch.node_id, peer.node_id
+                )
+                syn.pause_dst = dst
+                self.switch.ports[port].enqueue_control(syn)
+                self.windows.last_credit_time[(port, dst)] = now
+                self.syn_sent += 1
+
+    # -- per-dst PAUSE (§4.3, optional host support) ----------------------------------------------------
+
+    def _maybe_pause_source(self, pkt: Packet) -> None:
+        if not self.config.per_dst_pause or self.switch.level != 0:
+            return
+        dst = pkt.dst
+        if self.pool.dst_backlog(dst) <= self.config.thre_off_bytes:
+            return
+        src_port = self.switch.connected_hosts.get(pkt.src)
+        if src_port is None:
+            return
+        paused = self.paused_sources.setdefault(dst, set())
+        if pkt.src in paused:
+            return
+        paused.add(pkt.src)
+        self.dst_pauses_sent += 1
+        frame = Packet.control(PacketKind.DST_PAUSE, self.switch.node_id, pkt.src)
+        frame.pause_dst = dst
+        self.switch.ports[src_port].enqueue_control(frame)
+
+    def _maybe_resume_sources(self, dst: int) -> None:
+        if not self.config.per_dst_pause:
+            return
+        paused = self.paused_sources.get(dst)
+        if not paused:
+            return
+        if self.pool.dst_backlog(dst) >= self.config.thre_on_bytes:
+            return
+        for src in paused:
+            src_port = self.switch.connected_hosts.get(src)
+            if src_port is None:
+                continue
+            frame = Packet.control(
+                PacketKind.DST_RESUME, self.switch.node_id, src
+            )
+            frame.pause_dst = dst
+            self.switch.ports[src_port].enqueue_control(frame)
+        paused.clear()
+
+    # -- teardown / stats --------------------------------------------------------------------------------
+
+    def stop(self) -> None:
+        """Cancel periodic tasks (end of experiment)."""
+        self.credits.stop()
+        if self._syn_task is not None:
+            self._syn_task.stop()

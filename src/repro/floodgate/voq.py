@@ -1,0 +1,143 @@
+"""Virtual Output Queues with bitmap allocation and hash fallback.
+
+VOQ semantics (§4.2, §7.2):
+
+* a free VOQ is dedicated to one destination on demand (bitmap scan);
+* when the pool is exhausted, the destination is CRC-hashed onto an
+  *occupied* VOQ of the same direction group, so packets of different
+  destinations may share a VOQ (the corner case the paper tolerates);
+* VOQs are grouped into *down* (destination below this switch) and
+  *up* (destination reached via a higher layer) to break the
+  hold-and-wait cycle of Fig. 4;
+* an emptied VOQ returns to the pool.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Set
+
+from repro.net.packet import Packet
+
+#: direction groups (deadlock avoidance)
+GROUP_DOWN = 0
+GROUP_UP = 1
+
+
+def _crc_hash(value: int) -> int:
+    """Deterministic stand-in for the CRC the paper suggests (§4.2)."""
+    value = (value ^ (value >> 16)) * 0x45D9F3B & 0xFFFFFFFF
+    value = (value ^ (value >> 16)) * 0x45D9F3B & 0xFFFFFFFF
+    return value ^ (value >> 16)
+
+
+class Voq:
+    """One virtual output queue."""
+
+    __slots__ = ("index", "packets", "bytes", "dsts", "group", "in_use")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.packets: Deque[Packet] = deque()
+        self.bytes = 0
+        self.dsts: Set[int] = set()
+        self.group = GROUP_DOWN
+        self.in_use = False
+
+    def push(self, pkt: Packet) -> None:
+        self.packets.append(pkt)
+        self.bytes += pkt.size
+        self.dsts.add(pkt.dst)
+
+    def head(self) -> Optional[Packet]:
+        return self.packets[0] if self.packets else None
+
+    def pop(self) -> Packet:
+        pkt = self.packets.popleft()
+        self.bytes -= pkt.size
+        return pkt
+
+    def reset(self) -> None:
+        self.packets.clear()
+        self.bytes = 0
+        self.dsts.clear()
+        self.in_use = False
+
+
+class VoqPool:
+    """The switch's VOQ resources.
+
+    Tracks which destination maps to which VOQ, per-destination backlog
+    (for delayCredit and dstPause thresholds), and usage statistics.
+    """
+
+    def __init__(self, max_voqs: int) -> None:
+        if max_voqs < 1:
+            raise ValueError(f"need at least one VOQ, got {max_voqs}")
+        self.voqs: List[Voq] = [Voq(i) for i in range(max_voqs)]
+        self.voq_of_dst: Dict[int, Voq] = {}
+        self.bytes_by_dst: Dict[int, int] = {}
+        self.max_in_use = 0
+        self.hash_fallbacks = 0
+        self.overflow_bypasses = 0
+
+    # -- queries --------------------------------------------------------------------
+
+    @property
+    def in_use_count(self) -> int:
+        return sum(1 for v in self.voqs if v.in_use)
+
+    def lookup(self, dst: int) -> Optional[Voq]:
+        """The VOQ currently holding ``dst``'s packets, if any."""
+        return self.voq_of_dst.get(dst)
+
+    def dst_backlog(self, dst: int) -> int:
+        """Bytes queued in VOQs for destination ``dst``."""
+        return self.bytes_by_dst.get(dst, 0)
+
+    def total_bytes(self) -> int:
+        return sum(v.bytes for v in self.voqs if v.in_use)
+
+    # -- allocation -------------------------------------------------------------------
+
+    def allocate(self, dst: int, group: int) -> Optional[Voq]:
+        """Find a VOQ for ``dst``: free slot first, hash fallback second.
+
+        Returns None only when the pool is exhausted *and* no occupied
+        VOQ of the same group exists (caller falls back to the default
+        egress queue — counted as an overflow bypass).
+        """
+        for voq in self.voqs:
+            if not voq.in_use:
+                voq.in_use = True
+                voq.group = group
+                self.voq_of_dst[dst] = voq
+                used = self.in_use_count
+                if used > self.max_in_use:
+                    self.max_in_use = used
+                return voq
+        same_group = [v for v in self.voqs if v.in_use and v.group == group]
+        if not same_group:
+            self.overflow_bypasses += 1
+            return None
+        self.hash_fallbacks += 1
+        voq = same_group[_crc_hash(dst) % len(same_group)]
+        self.voq_of_dst[dst] = voq
+        return voq
+
+    def push(self, voq: Voq, pkt: Packet) -> None:
+        voq.push(pkt)
+        self.bytes_by_dst[pkt.dst] = self.bytes_by_dst.get(pkt.dst, 0) + pkt.size
+
+    def pop(self, voq: Voq) -> Packet:
+        pkt = voq.pop()
+        remaining = self.bytes_by_dst.get(pkt.dst, 0) - pkt.size
+        if remaining > 0:
+            self.bytes_by_dst[pkt.dst] = remaining
+        else:
+            self.bytes_by_dst.pop(pkt.dst, None)
+        if not voq.packets:
+            for dst in voq.dsts:
+                self.voq_of_dst.pop(dst, None)
+            voq.reset()
+        return pkt

@@ -1,0 +1,125 @@
+"""Shared switch buffer with dynamic-threshold PFC accounting.
+
+Models the shared-memory buffer of a commodity switch the way the
+DCQCN/HPCC NS-3 models do:
+
+* every buffered data packet is charged against the total pool and
+  against the *ingress* port it arrived on;
+* an ingress port whose occupancy exceeds the dynamic threshold
+  ``alpha * (capacity - total_used)`` triggers a PFC PAUSE to its
+  upstream peer; it resumes once occupancy falls below the threshold
+  minus a hysteresis margin (two MTUs here);
+* a packet that cannot be admitted at all (pool exhausted) is dropped.
+
+The paper runs with the dynamic threshold and ``alpha = 2``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.units import MTU
+
+
+class SharedBuffer:
+    """Per-switch buffer pool with per-ingress PFC state."""
+
+    __slots__ = (
+        "capacity",
+        "alpha",
+        "pfc_enabled",
+        "used",
+        "ingress_bytes",
+        "ingress_paused",
+        "max_used",
+        "dropped",
+        "hysteresis",
+        "on_pause",
+        "on_resume",
+        "headroom",
+    )
+
+    def __init__(
+        self,
+        capacity: int,
+        n_ports: int,
+        alpha: float = 2.0,
+        pfc_enabled: bool = True,
+        hysteresis: int = 2 * MTU,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"buffer capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.alpha = alpha
+        self.pfc_enabled = pfc_enabled
+        self.hysteresis = hysteresis
+        self.used = 0
+        self.ingress_bytes: List[int] = [0] * n_ports
+        self.ingress_paused: List[bool] = [False] * n_ports
+        self.max_used = 0
+        self.dropped = 0
+        #: callbacks installed by the switch: ``on_pause(ingress_port)``
+        self.on_pause: Optional[Callable[[int], None]] = None
+        self.on_resume: Optional[Callable[[int], None]] = None
+        # Reserve a little headroom per port so packets in flight during
+        # the pause round-trip do not overflow the pool (as real
+        # deployments do).  Admission uses capacity directly; headroom
+        # only shifts the pause threshold earlier.
+        self.headroom = 2 * MTU
+
+    # -- admission ----------------------------------------------------------------
+
+    def threshold(self) -> float:
+        """Current dynamic PFC threshold for any one ingress port."""
+        free = self.capacity - self.used
+        return self.alpha * max(free, 0)
+
+    def admit(self, size: int, ingress_port: int) -> bool:
+        """Charge ``size`` bytes to the pool; False (and drop) if full."""
+        if self.used + size > self.capacity:
+            self.dropped += 1
+            return False
+        self.used += size
+        if self.used > self.max_used:
+            self.max_used = self.used
+        if 0 <= ingress_port < len(self.ingress_bytes):
+            self.ingress_bytes[ingress_port] += size
+            self._check_pause(ingress_port)
+        return True
+
+    def release(self, size: int, ingress_port: int) -> None:
+        """Return ``size`` bytes to the pool (packet left the switch)."""
+        self.used -= size
+        if self.used < 0:
+            raise RuntimeError("buffer accounting underflow (double release?)")
+        if 0 <= ingress_port < len(self.ingress_bytes):
+            self.ingress_bytes[ingress_port] -= size
+            if self.ingress_bytes[ingress_port] < 0:
+                raise RuntimeError(
+                    f"ingress accounting underflow on port {ingress_port}"
+                )
+            self._check_resume(ingress_port)
+        # A release frees pool space, which raises every port's dynamic
+        # threshold; ports paused near the boundary may resume.
+        if self.pfc_enabled:
+            for port, paused in enumerate(self.ingress_paused):
+                if paused and port != ingress_port:
+                    self._check_resume(port)
+
+    # -- PFC state machine ------------------------------------------------------------
+
+    def _check_pause(self, port: int) -> None:
+        if not self.pfc_enabled or self.ingress_paused[port]:
+            return
+        if self.ingress_bytes[port] + self.headroom > self.threshold():
+            self.ingress_paused[port] = True
+            if self.on_pause is not None:
+                self.on_pause(port)
+
+    def _check_resume(self, port: int) -> None:
+        if not self.pfc_enabled or not self.ingress_paused[port]:
+            return
+        if self.ingress_bytes[port] + self.headroom + self.hysteresis < self.threshold():
+            self.ingress_paused[port] = False
+            if self.on_resume is not None:
+                self.on_resume(port)

@@ -1,0 +1,54 @@
+"""RED/ECN marking.
+
+Implements the marking curve DCQCN (and DCTCP) assume at switch egress
+queues: below ``kmin`` never mark, above ``kmax`` always mark, and
+between the two mark with probability rising linearly to ``pmax``.
+The paper's convergence study (Fig. 16) sweeps ``(kmin, kmax)``, so the
+thresholds are per-instance configuration rather than globals.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EcnConfig:
+    """RED-style marking thresholds (bytes)."""
+
+    kmin: int
+    kmax: int
+    pmax: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kmin < 0 or self.kmax < self.kmin:
+            raise ValueError(f"need 0 <= kmin <= kmax, got {self.kmin}, {self.kmax}")
+        if not 0.0 <= self.pmax <= 1.0:
+            raise ValueError(f"pmax must be in [0, 1], got {self.pmax}")
+
+
+class EcnMarker:
+    """Stateless marking decision with a dedicated RNG stream."""
+
+    __slots__ = ("config", "_rng", "marked_count")
+
+    def __init__(self, config: EcnConfig, rng: random.Random) -> None:
+        self.config = config
+        self._rng = rng
+        self.marked_count = 0
+
+    def should_mark(self, queue_bytes: int) -> bool:
+        """Marking decision for a packet arriving to a queue of this depth."""
+        cfg = self.config
+        if queue_bytes <= cfg.kmin:
+            return False
+        if queue_bytes >= cfg.kmax:
+            self.marked_count += 1
+            return True
+        span = cfg.kmax - cfg.kmin
+        p = cfg.pmax * (queue_bytes - cfg.kmin) / span if span else cfg.pmax
+        if self._rng.random() < p:
+            self.marked_count += 1
+            return True
+        return False

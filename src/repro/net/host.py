@@ -1,0 +1,286 @@
+"""End hosts: RoCE-like transport with pluggable congestion control.
+
+Sender side
+    Per-flow pacing at ``flow.rate`` capped by ``flow.cwnd_bytes`` (the
+    CC window) and the per-flow sending window.  Reliability is
+    go-back-N: NACKs and a retransmission timeout rewind ``next_seq``.
+
+Receiver side
+    In-order delivery with cumulative ACKs, NACK on gap (rate-limited),
+    DCQCN CNP generation on ECN-marked arrivals, INT echo for HPCC,
+    and FCT recording at last-byte arrival.
+
+The host also understands PFC pause frames from its ToR and Floodgate's
+optional per-dst pause (``dstPause``/``dstResume``), for which the NIC
+keeps per-destination pause state (§4.3 "Hosts' support").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.cc.base import CcAlgorithm
+from repro.cc.flow import Flow
+from repro.net.node import Node
+from repro.net.packet import Packet, PacketKind
+from repro.sim.engine import Simulator
+from repro.sim.process import Timer
+from repro.stats.collector import StatsHub
+from repro.stats.fct import FctRecord
+from repro.units import CTRL_PKT_SIZE, SEC, us
+
+
+class Host(Node):
+    """A server with one NIC port."""
+
+    kind = "host"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        name: str,
+        cc: CcAlgorithm,
+        flow_table: Dict[int, Flow],
+        stats: Optional[StatsHub] = None,
+        rto: int = us(500),
+        nack_interval: int = us(10),
+        cnp_interval: int = us(50),
+        ack_interval: int = 1,
+        int_enabled: bool = False,
+    ) -> None:
+        super().__init__(sim, node_id, name)
+        self.cc = cc
+        self.flow_table = flow_table
+        self.stats = stats
+        self.rto = rto
+        self.nack_interval = nack_interval
+        self.cnp_interval = cnp_interval
+        self.ack_interval = ack_interval
+        self.int_enabled = int_enabled
+        self.paused_dsts: Set[int] = set()
+        self.active_flows: Set[int] = set()
+        self.rx_data_bytes = 0
+        self.tx_data_bytes = 0
+        #: emit DCQCN CNPs on marked arrivals (off for DCTCP-style CC,
+        #: which reads the ECN echo on ACKs instead)
+        self.cnp_enabled = True
+        #: optional per-packet tracer (see repro.net.trace)
+        self.tracer = None
+
+    # -- sending -------------------------------------------------------------------
+
+    def start_flow(self, flow: Flow) -> None:
+        """Begin transmitting ``flow`` (must already be in the table)."""
+        if flow.src != self.node_id:
+            raise ValueError(
+                f"flow {flow.flow_id} has src {flow.src}, host is {self.node_id}"
+            )
+        self.flow_table[flow.flow_id] = flow
+        self.active_flows.add(flow.flow_id)
+        self.cc.on_flow_start(flow, self.sim.now)
+        flow.next_send_time = self.sim.now
+        flow.rto_timer = Timer(self.sim, self._on_rto, flow)
+        self._try_send(flow)
+
+    def _kick(self, flow: Flow) -> None:
+        """(Re)run the send loop, collapsing any pending send event."""
+        if flow.send_event is not None:
+            flow.send_event.cancel()
+            flow.send_event = None
+        self._try_send(flow)
+
+    def _flow_blocked(self, flow: Flow) -> bool:
+        """NIC-level pause check (per-dst pause; subclasses extend)."""
+        return flow.dst in self.paused_dsts
+
+    def _try_send(self, flow: Flow) -> None:
+        flow.send_event = None
+        if flow.sender_done or flow.all_sent:
+            return
+        if self._flow_blocked(flow):
+            return  # resumed when the pause lifts
+        cap = min(flow.cwnd_bytes, self.cc.swnd_bytes)
+        if flow.inflight_bytes + flow.packet_size(flow.next_seq) > cap:
+            return  # ACK-clocked: resumed by _receive_ack
+        now = self.sim.now
+        if now < flow.next_send_time:
+            flow.send_event = self.sim.schedule_at(
+                flow.next_send_time, self._try_send, flow
+            )
+            return
+        self._emit_data(flow)
+        if not flow.all_sent:
+            flow.send_event = self.sim.schedule_at(
+                max(flow.next_send_time, now), self._try_send, flow
+            )
+
+    def _emit_data(self, flow: Flow) -> None:
+        now = self.sim.now
+        seq = flow.next_seq
+        size = flow.packet_size(seq)
+        pkt = Packet(PacketKind.DATA, self.node_id, flow.dst, size, flow.flow_id, seq)
+        pkt.sent_time = now
+        if self.int_enabled:
+            pkt.int_records = []
+        self._stamp_packet(pkt, flow)
+        flow.next_seq = seq + 1
+        self.tx_data_bytes += size
+        self.ports[0].enqueue(pkt, 1)
+        on_data_sent = getattr(self.cc, "on_data_sent", None)
+        if on_data_sent is not None:
+            on_data_sent(flow, size, now)
+        # pacing: space packets at flow.rate
+        gap = int(size * 8 * SEC / flow.rate) if flow.rate > 0 else 0
+        flow.next_send_time = max(now, flow.next_send_time) + gap
+        if flow.rto_timer is not None and not flow.rto_timer.armed:
+            flow.rto_timer.start(self.rto)
+
+    def _stamp_packet(self, pkt: Packet, flow: Flow) -> None:
+        """Hook for subclasses to tag outgoing data (e.g. BFC queues)."""
+
+    def _on_rto(self, flow: Flow) -> None:
+        if flow.all_acked:
+            return
+        # go-back-N: rewind to the last cumulative ACK
+        flow.retransmitted_packets += flow.next_seq - flow.acked_seq
+        flow.next_seq = flow.acked_seq
+        flow.next_send_time = self.sim.now
+        self.cc.on_timeout(flow, self.sim.now)
+        if flow.rto_timer is not None:
+            flow.rto_timer.start(self.rto)
+        self._kick(flow)
+
+    # -- receiving -----------------------------------------------------------------
+
+    def receive(self, pkt: Packet, ingress_port: int) -> None:
+        kind = pkt.kind
+        if kind == PacketKind.DATA:
+            self._receive_data(pkt)
+        elif kind == PacketKind.ACK:
+            self._receive_ack(pkt)
+        elif kind == PacketKind.NACK:
+            self._receive_nack(pkt)
+        elif kind == PacketKind.CNP:
+            flow = self.flow_table.get(pkt.flow_id)
+            if flow is not None and not flow.sender_done:
+                self.cc.on_cnp(flow, self.sim.now)
+        elif kind == PacketKind.PFC_PAUSE:
+            self.ports[ingress_port].pause()
+        elif kind == PacketKind.PFC_RESUME:
+            self.ports[ingress_port].resume()
+        elif kind == PacketKind.DST_PAUSE:
+            self.paused_dsts.add(pkt.pause_dst)
+        elif kind == PacketKind.DST_RESUME:
+            self.paused_dsts.discard(pkt.pause_dst)
+            for flow_id in self.active_flows:
+                flow = self.flow_table[flow_id]
+                if flow.dst == pkt.pause_dst and not flow.sender_done:
+                    self._kick(flow)
+
+    def _receive_data(self, pkt: Packet) -> None:
+        flow = self.flow_table.get(pkt.flow_id)
+        if flow is None:
+            return  # stale packet from a flow we never learned about
+        now = self.sim.now
+        if self.tracer is not None:
+            self.tracer.record(now, self.name, "deliver", pkt)
+        self.rx_data_bytes += pkt.size
+        if self.stats is not None:
+            self.stats.record_rx(pkt.flow_id, pkt.size)
+        if pkt.seq == flow.expected_seq:
+            flow.expected_seq += 1
+            flow.delivered_bytes += pkt.size
+            if flow.receiver_done and flow.finish_time < 0:
+                flow.finish_time = now
+                if self.stats is not None:
+                    self.stats.record_fct(
+                        FctRecord(
+                            flow.flow_id,
+                            flow.src,
+                            flow.dst,
+                            flow.size,
+                            flow.start_time,
+                            now,
+                        )
+                    )
+            last = flow.expected_seq >= flow.n_packets
+            if last or flow.expected_seq % self.ack_interval == 0:
+                self._send_ack(flow, pkt)
+        elif pkt.seq > flow.expected_seq:
+            # gap: go-back-N NACK, rate limited
+            if now - flow.last_nack_time >= self.nack_interval:
+                flow.last_nack_time = now
+                nack = Packet.control(PacketKind.NACK, self.node_id, flow.src)
+                nack.flow_id = flow.flow_id
+                nack.seq = flow.expected_seq
+                nack.size = CTRL_PKT_SIZE
+                nack.kind = PacketKind.NACK
+                self.ports[0].enqueue_control(nack)
+        else:
+            # duplicate after a rewind: re-ACK so the sender advances
+            self._send_ack(flow, pkt)
+        if (
+            self.cnp_enabled
+            and pkt.ecn_marked
+            and now - flow.last_cnp_time >= self.cnp_interval
+        ):
+            flow.last_cnp_time = now
+            cnp = Packet.control(PacketKind.CNP, self.node_id, flow.src)
+            cnp.flow_id = flow.flow_id
+            self.ports[0].enqueue_control(cnp)
+
+    def _send_ack(self, flow: Flow, data_pkt: Packet) -> None:
+        ack = Packet.control(PacketKind.ACK, self.node_id, flow.src)
+        ack.flow_id = flow.flow_id
+        ack.seq = flow.expected_seq
+        ack.echo_time = data_pkt.sent_time
+        ack.int_records = data_pkt.int_records
+        # ECN echo (DCTCP-style controllers read it; others ignore it)
+        ack.ecn_marked = data_pkt.ecn_marked
+        self.ports[0].enqueue_control(ack)
+
+    def _receive_ack(self, pkt: Packet) -> None:
+        flow = self.flow_table.get(pkt.flow_id)
+        if flow is None:
+            return
+        now = self.sim.now
+        flow.acks_received += 1
+        if pkt.seq > flow.acked_seq:
+            flow.acked_seq = pkt.seq
+            if flow.rto_timer is not None:
+                if flow.all_acked:
+                    flow.rto_timer.stop()
+                else:
+                    flow.rto_timer.start(self.rto)
+        if flow.all_acked and flow.all_sent:
+            flow.sender_done = True
+            self.active_flows.discard(flow.flow_id)
+        self.cc.on_ack(flow, pkt, now)
+        if not flow.sender_done:
+            self._kick(flow)
+
+    def _receive_nack(self, pkt: Packet) -> None:
+        flow = self.flow_table.get(pkt.flow_id)
+        if flow is None or flow.sender_done:
+            return
+        if pkt.seq > flow.acked_seq:
+            flow.acked_seq = pkt.seq
+        if pkt.seq < flow.next_seq:
+            flow.retransmitted_packets += flow.next_seq - pkt.seq
+            flow.next_seq = pkt.seq
+            flow.next_send_time = self.sim.now
+            self._kick(flow)
+
+    # -- bookkeeping ---------------------------------------------------------------
+
+    def report_pause_time(self) -> None:
+        """Flush accumulated PFC pause time into the stats hub."""
+        if self.stats is None:
+            return
+        for port in self.ports:
+            paused = port.total_paused_time
+            if port.pause_started >= 0:
+                paused += self.sim.now - port.pause_started
+            if paused:
+                self.stats.record_pfc_pause(self.kind, paused)

@@ -1,0 +1,89 @@
+"""Point-to-point full-duplex links.
+
+A link only models propagation (serialization lives in the egress
+port).  Links also host the fault-injection hook used by the paper's
+robustness experiment (Fig. 12): a Bernoulli drop applied to packets
+in flight, drawn from a dedicated RNG stream so loss patterns are
+reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Optional
+
+from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.node import Node
+    from repro.net.packet import Packet
+
+
+class Link:
+    """Full-duplex link between two nodes.
+
+    ``bandwidth`` is stored here as the single source of truth for both
+    directions; the two egress ports read it at attach time.
+    """
+
+    __slots__ = (
+        "sim",
+        "node_a",
+        "node_b",
+        "port_a",
+        "port_b",
+        "bandwidth",
+        "delay",
+        "loss_rate",
+        "_loss_rng",
+        "dropped_packets",
+    )
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_a: "Node",
+        node_b: "Node",
+        bandwidth: float,
+        delay: int,
+    ) -> None:
+        self.sim = sim
+        self.node_a = node_a
+        self.node_b = node_b
+        self.bandwidth = bandwidth
+        self.delay = delay
+        #: port index of this link on each endpoint (set by Node.attach_link)
+        self.port_a: int = -1
+        self.port_b: int = -1
+        self.loss_rate: float = 0.0
+        self._loss_rng: Optional[random.Random] = None
+        self.dropped_packets: int = 0
+
+    def set_loss(self, rate: float, rng: random.Random) -> None:
+        """Enable Bernoulli packet loss on this link (both directions)."""
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"loss rate must be in [0, 1], got {rate}")
+        self.loss_rate = rate
+        self._loss_rng = rng
+
+    def peer_of(self, node: "Node") -> "Node":
+        """The endpoint opposite ``node``."""
+        if node is self.node_a:
+            return self.node_b
+        if node is self.node_b:
+            return self.node_a
+        raise ValueError(f"{node} is not an endpoint of this link")
+
+    def peer_port_of(self, node: "Node") -> int:
+        """The peer's port index for this link."""
+        return self.port_b if node is self.node_a else self.port_a
+
+    def deliver(self, pkt: "Packet", sender: "Node") -> None:
+        """Carry ``pkt`` from ``sender`` to the peer after the prop delay."""
+        if self.loss_rate > 0.0 and self._loss_rng is not None:
+            if self._loss_rng.random() < self.loss_rate:
+                self.dropped_packets += 1
+                return
+        peer = self.peer_of(sender)
+        peer_port = self.peer_port_of(sender)
+        self.sim.schedule(self.delay, peer.receive, pkt, peer_port)

@@ -1,0 +1,66 @@
+"""Base class for network devices (switches and hosts)."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.sim.engine import Simulator
+from repro.net.port import EgressPort
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.link import Link
+    from repro.net.packet import Packet
+
+
+class Node:
+    """A device with numbered ports, each attached to one link."""
+
+    def __init__(self, sim: Simulator, node_id: int, name: str = "") -> None:
+        self.sim = sim
+        self.node_id = node_id
+        self.name = name or f"node{node_id}"
+        self.ports: List[EgressPort] = []
+        self.links: List["Link"] = []
+
+    def attach_link(
+        self,
+        link: "Link",
+        n_data_queues: int = 1,
+        rr_data_queues: int = 0,
+    ) -> int:
+        """Create the egress port for ``link`` and return its index."""
+        index = len(self.ports)
+        port = EgressPort(
+            self.sim,
+            self,
+            index,
+            link,
+            n_data_queues=n_data_queues,
+            rr_data_queues=rr_data_queues,
+        )
+        port.on_dequeue = self.on_port_dequeue
+        self.ports.append(port)
+        self.links.append(link)
+        if link.node_a is self:
+            link.port_a = index
+        else:
+            link.port_b = index
+        return index
+
+    def peer(self, port_index: int) -> "Node":
+        """The node on the far side of ``port_index``."""
+        return self.links[port_index].peer_of(self)
+
+    # -- to be provided by subclasses ------------------------------------------------
+
+    def receive(self, pkt: "Packet", ingress_port: int) -> None:
+        """Handle a packet delivered by a link."""
+        raise NotImplementedError
+
+    def on_port_dequeue(
+        self, port: EgressPort, pkt: "Packet", queue_idx: int
+    ) -> None:
+        """Hook fired when a packet leaves one of our egress queues."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name}>"

@@ -1,0 +1,200 @@
+"""Egress ports: serialization, multi-queue scheduling, pausing.
+
+Each attached link direction gets one :class:`EgressPort`.  The port
+owns a configurable set of FIFO queues:
+
+* queue 0 is the *control* queue — link-level control (PFC frames,
+  Floodgate credits) and host ACK/CNP traffic.  It has strict highest
+  priority and is never paused, mirroring how control rides a separate
+  priority class on real fabrics.
+* queues ``1 .. rr_start-1`` are strict-priority data queues (lower
+  index wins), used e.g. to prioritize non-incast traffic over
+  VOQ-drained incast traffic in Floodgate.
+* queues ``rr_start ..`` form a round-robin group at the lowest
+  priority — used for BFC's per-flow physical queues and for
+  Floodgate's drained VOQs.
+
+Pausing is supported at two granularities: the whole port (PFC) or a
+single queue (BFC); both exempt the control queue.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Callable, Deque, List, Optional
+
+from repro.sim.engine import Simulator
+from repro.units import serialization_delay
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.link import Link
+    from repro.net.node import Node
+    from repro.net.packet import Packet
+
+#: Index of the always-on control queue.
+CONTROL_QUEUE = 0
+
+
+class EgressPort:
+    """One transmit direction of a node onto a link."""
+
+    __slots__ = (
+        "sim",
+        "node",
+        "index",
+        "link",
+        "bandwidth",
+        "queues",
+        "queue_bytes",
+        "rr_start",
+        "_rr_next",
+        "_busy",
+        "paused",
+        "paused_queues",
+        "tx_bytes",
+        "tx_data_bytes",
+        "on_dequeue",
+        "pause_started",
+        "total_paused_time",
+    )
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: "Node",
+        index: int,
+        link: "Link",
+        n_data_queues: int = 1,
+        rr_data_queues: int = 0,
+    ) -> None:
+        self.sim = sim
+        self.node = node
+        self.index = index
+        self.link = link
+        self.bandwidth = link.bandwidth
+        total = 1 + n_data_queues + rr_data_queues
+        self.queues: List[Deque["Packet"]] = [deque() for _ in range(total)]
+        self.queue_bytes: List[int] = [0] * total
+        self.rr_start = 1 + n_data_queues
+        self._rr_next = self.rr_start
+        self._busy = False
+        self.paused = False
+        self.paused_queues: set[int] = set()
+        self.tx_bytes = 0        # everything, for INT and overhead stats
+        self.tx_data_bytes = 0   # DATA only, for goodput accounting
+        #: callback fired when a packet leaves a queue for the wire:
+        #: ``on_dequeue(port, pkt, queue_idx)``.  Owners use it for
+        #: buffer uncharging and Floodgate credit accounting.
+        self.on_dequeue: Optional[Callable[["EgressPort", "Packet", int], None]] = None
+        self.pause_started: int = -1
+        self.total_paused_time: int = 0
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def data_bytes_queued(self) -> int:
+        """Bytes waiting in all data queues (excludes control)."""
+        return sum(self.queue_bytes[1:])
+
+    def add_rr_queues(self, count: int) -> int:
+        """Append ``count`` round-robin queues; returns first new index."""
+        first = len(self.queues)
+        for _ in range(count):
+            self.queues.append(deque())
+            self.queue_bytes.append(0)
+        return first
+
+    # -- enqueue ----------------------------------------------------------------
+
+    def enqueue(self, pkt: "Packet", queue_idx: int = 1) -> None:
+        """Append ``pkt`` to the given queue and kick the transmitter."""
+        pkt.enqueue_time = self.sim.now
+        self.queues[queue_idx].append(pkt)
+        self.queue_bytes[queue_idx] += pkt.size
+        self._try_transmit()
+
+    def enqueue_control(self, pkt: "Packet") -> None:
+        """Append ``pkt`` to the control queue."""
+        self.enqueue(pkt, CONTROL_QUEUE)
+
+    # -- pause / resume ------------------------------------------------------------
+
+    def pause(self) -> None:
+        """PFC: stop serving data queues (control still flows)."""
+        if not self.paused:
+            self.paused = True
+            self.pause_started = self.sim.now
+
+    def resume(self) -> None:
+        """PFC: resume data queues."""
+        if self.paused:
+            self.paused = False
+            if self.pause_started >= 0:
+                self.total_paused_time += self.sim.now - self.pause_started
+                self.pause_started = -1
+            self._try_transmit()
+
+    def pause_queue(self, queue_idx: int) -> None:
+        """BFC: stop serving one data queue."""
+        if queue_idx == CONTROL_QUEUE:
+            raise ValueError("the control queue cannot be paused")
+        self.paused_queues.add(queue_idx)
+
+    def resume_queue(self, queue_idx: int) -> None:
+        """BFC: resume one data queue."""
+        self.paused_queues.discard(queue_idx)
+        self._try_transmit()
+
+    # -- transmit machinery ---------------------------------------------------------
+
+    def _pick_queue(self) -> int:
+        """Scheduler: control, then strict-priority data, then RR group.
+
+        Returns the queue index to serve next, or -1 if nothing is
+        eligible (empty, paused, or port-paused).
+        """
+        if self.queues[CONTROL_QUEUE]:
+            return CONTROL_QUEUE
+        if self.paused:
+            return -1
+        for idx in range(1, self.rr_start):
+            if self.queues[idx] and idx not in self.paused_queues:
+                return idx
+        n = len(self.queues)
+        if n > self.rr_start:
+            span = n - self.rr_start
+            start = self._rr_next
+            for off in range(span):
+                idx = self.rr_start + (start - self.rr_start + off) % span
+                if self.queues[idx] and idx not in self.paused_queues:
+                    self._rr_next = self.rr_start + (idx - self.rr_start + 1) % span
+                    return idx
+        return -1
+
+    def _try_transmit(self) -> None:
+        if self._busy:
+            return
+        idx = self._pick_queue()
+        if idx < 0:
+            return
+        pkt = self.queues[idx].popleft()
+        self.queue_bytes[idx] -= pkt.size
+        # mark busy *before* the dequeue hook: hooks may enqueue more
+        # packets (VOQ drains), which must not re-enter the transmitter
+        self._busy = True
+        if self.on_dequeue is not None:
+            self.on_dequeue(self, pkt, idx)
+        self.tx_bytes += pkt.size
+        if pkt.ecn_capable:
+            self.tx_data_bytes += pkt.size
+        delay = serialization_delay(pkt.size, self.bandwidth)
+        self.sim.schedule(delay, self._tx_done, pkt)
+
+    def _tx_done(self, pkt: "Packet") -> None:
+        self._busy = False
+        self.link.deliver(pkt, self.node)
+        self._try_transmit()
+
+    def kick(self) -> None:
+        """Re-evaluate the scheduler (after external state changed)."""
+        self._try_transmit()

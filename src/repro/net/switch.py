@@ -1,0 +1,310 @@
+"""Output-queued switch with shared buffer, ECN, PFC, and extensions.
+
+The base switch implements what the paper calls "today's commodity
+switch": per-dst (or per-flow) ECMP forwarding, RED/ECN marking at
+egress, a shared buffer with dynamic-threshold PFC, and in-band
+telemetry for HPCC.
+
+Flow-control schemes — Floodgate, BFC, NDP trimming, PFC-w/-tag — plug
+in as a :class:`SwitchExtension`.  The extension sees each data packet
+*before* the default enqueue and may claim it (hold it in a VOQ, trim
+it, re-queue it); it also observes dequeues for credit accounting.
+This keeps the combinatorics of (congestion control x flow control)
+out of the class hierarchy.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
+
+from repro.net.buffer import SharedBuffer
+from repro.net.ecn import EcnMarker
+from repro.net.node import Node
+from repro.net.packet import IntRecord, Packet, PacketKind
+from repro.net.port import EgressPort
+from repro.sim.engine import Simulator
+from repro.stats.collector import BW_CREDIT, BW_CTRL, BW_DATA, StatsHub
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.host import Host
+
+
+def _ecmp_hash(value: int) -> int:
+    """Cheap deterministic integer hash (Knuth multiplicative)."""
+    return (value * 2654435761) & 0xFFFFFFFF
+
+
+class SwitchExtension:
+    """Hook interface for switch-resident flow-control schemes."""
+
+    switch: "Switch"
+
+    def attach(self, switch: "Switch") -> None:
+        """Called once when installed on ``switch``."""
+        self.switch = switch
+
+    def handle_control(self, pkt: Packet, in_port: int) -> bool:
+        """Consume a control frame; return True if handled."""
+        return False
+
+    def on_data(self, pkt: Packet, in_port: int, out_port: int) -> bool:
+        """See a data packet before default forwarding.
+
+        Return True if the extension took ownership (buffered it in a
+        VOQ, trimmed it, dropped it, enqueued it itself).
+        """
+        return False
+
+    def on_dequeue(self, port: EgressPort, pkt: Packet, queue_idx: int) -> None:
+        """Observe a packet leaving an egress queue."""
+
+    def voq_bytes_for_port(self, port_index: int) -> int:
+        """Extension-held bytes logically belonging to ``port_index``."""
+        return 0
+
+    def adjusted_qlen(self, pkt: Packet, port: EgressPort) -> Optional[int]:
+        """Override the INT queue length for ``pkt`` (None = default)."""
+        return None
+
+
+class Switch(Node):
+    """An output-queued datacenter switch."""
+
+    #: node kind used in PFC accounting ("tor", "core", "agg", ...)
+    kind: str = "switch"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        name: str,
+        buffer_capacity: int,
+        kind: str = "switch",
+        pfc_enabled: bool = True,
+        pfc_alpha: float = 2.0,
+        ecn: Optional[EcnMarker] = None,
+        stats: Optional[StatsHub] = None,
+        int_enabled: bool = False,
+        per_flow_ecmp: bool = False,
+    ) -> None:
+        super().__init__(sim, node_id, name)
+        self.kind = kind
+        #: topology layer: 0 = ToR/edge, 1 = agg/spine, 2 = core.
+        #: Set by the topology factory; used by Floodgate's VOQ grouping.
+        self.level = 0
+        self.buffer_capacity = buffer_capacity
+        self.pfc_enabled = pfc_enabled
+        self.pfc_alpha = pfc_alpha
+        self.ecn = ecn
+        self.stats = stats
+        self.int_enabled = int_enabled
+        self.per_flow_ecmp = per_flow_ecmp
+        # routing: dst host id -> port index, or tuple of candidates
+        self.routes: Dict[int, Union[int, Tuple[int, ...]]] = {}
+        #: hosts attached directly: host id -> port index
+        self.connected_hosts: Dict[int, int] = {}
+        #: per-port role labels for stats ("tor-up", "core", ...)
+        self.port_roles: List[str] = []
+        self.extension: Optional[SwitchExtension] = None
+        # buffer is created on finalize() once the port count is known
+        self.buffer: Optional[SharedBuffer] = None
+        #: optional per-packet tracer (see repro.net.trace)
+        self.tracer = None
+        self.dropped_packets = 0
+        #: per-port occupancy (egress queues + extension VOQ bytes)
+        self._port_bytes: List[int] = []
+        self.port_max_bytes: List[int] = []
+
+    # -- construction -----------------------------------------------------------
+
+    def attach_link(self, link, n_data_queues: int = 1, rr_data_queues: int = 0) -> int:
+        index = super().attach_link(link, n_data_queues, rr_data_queues)
+        self.port_roles.append("unknown")
+        self._port_bytes.append(0)
+        self.port_max_bytes.append(0)
+        return index
+
+    def finalize(self) -> None:
+        """Create the shared buffer once all links are attached."""
+        self.buffer = SharedBuffer(
+            self.buffer_capacity,
+            n_ports=len(self.ports),
+            alpha=self.pfc_alpha,
+            pfc_enabled=self.pfc_enabled,
+        )
+        self.buffer.on_pause = self._send_pfc_pause
+        self.buffer.on_resume = self._send_pfc_resume
+
+    def install_extension(self, ext: SwitchExtension) -> None:
+        self.extension = ext
+        ext.attach(self)
+
+    def set_route(self, dst: int, ports: Union[int, Tuple[int, ...]]) -> None:
+        self.routes[dst] = ports
+
+    # -- routing ------------------------------------------------------------------
+
+    def route(self, pkt: Packet) -> int:
+        """Egress port index for ``pkt`` (ECMP resolved here)."""
+        entry = self.routes[pkt.dst]
+        if isinstance(entry, int):
+            return entry
+        key = pkt.flow_id if self.per_flow_ecmp else pkt.dst
+        return entry[_ecmp_hash(key) % len(entry)]
+
+    def route_for_dst(self, dst: int) -> int:
+        """Egress port for a destination under per-dst ECMP."""
+        entry = self.routes[dst]
+        if isinstance(entry, int):
+            return entry
+        return entry[_ecmp_hash(dst) % len(entry)]
+
+    def is_last_hop_for(self, dst: int) -> bool:
+        """True when ``dst`` is a host directly attached to this switch."""
+        return dst in self.connected_hosts
+
+    # -- receive path -----------------------------------------------------------------
+
+    def receive(self, pkt: Packet, ingress_port: int) -> None:
+        pkt.hop_count += 1
+        pkt.ingress_port = ingress_port
+        if self.tracer is not None:
+            self.tracer.record(self.sim.now, self.name, "rx", pkt)
+        kind = pkt.kind
+        if kind == PacketKind.PFC_PAUSE:
+            self.ports[ingress_port].pause()
+            return
+        if kind == PacketKind.PFC_RESUME:
+            self.ports[ingress_port].resume()
+            return
+        if pkt.is_control():
+            if self.extension is not None and self.extension.handle_control(
+                pkt, ingress_port
+            ):
+                return
+            return  # unclaimed control frames are dropped silently
+        out_port = self.route(pkt)
+        if pkt.is_ack_like():
+            # End-to-end control: strictly prioritized, not buffer-accounted
+            # (negligible size, never the congestion bottleneck).
+            self.ports[out_port].enqueue_control(pkt)
+            return
+        if self.extension is not None and self.extension.on_data(
+            pkt, ingress_port, out_port
+        ):
+            return
+        self.enqueue_data(pkt, out_port)
+
+    def enqueue_data(
+        self,
+        pkt: Packet,
+        out_port: int,
+        queue_idx: int = 1,
+        already_charged: bool = False,
+    ) -> None:
+        """Admission control + ECN + enqueue to an egress data queue.
+
+        ``already_charged`` skips buffer admission and port-occupancy
+        accounting for packets moving out of an extension's VOQ (they
+        were charged when first buffered).
+        """
+        buffer = self.buffer
+        if buffer is None:
+            raise RuntimeError(f"{self.name}: finalize() was not called")
+        if not already_charged:
+            if not buffer.admit(pkt.size, pkt.ingress_port):
+                self.dropped_packets += 1
+                if self.stats is not None:
+                    self.stats.record_drop()
+                return
+        port = self.ports[out_port]
+        if (
+            self.ecn is not None
+            and pkt.ecn_capable
+            and not pkt.ecn_marked
+            and self.ecn.should_mark(port.data_bytes_queued)
+        ):
+            pkt.ecn_marked = True
+        if not already_charged:
+            self._note_port_bytes(out_port, pkt.size)
+            if self.stats is not None:
+                self.stats.record_switch_buffer(self.name, buffer.used)
+        port.enqueue(pkt, queue_idx)
+
+    # -- occupancy tracking ----------------------------------------------------------
+
+    def _note_port_bytes(self, port_index: int, delta: int) -> None:
+        """Track per-port occupancy (egress + VOQ) and report maxima."""
+        self._port_bytes[port_index] += delta
+        used = self._port_bytes[port_index]
+        if used > self.port_max_bytes[port_index]:
+            self.port_max_bytes[port_index] = used
+            if self.stats is not None:
+                self.stats.record_port_buffer(
+                    self.name, self.port_roles[port_index], used
+                )
+
+    def port_occupancy(self, port_index: int) -> int:
+        """Current bytes held for ``port_index`` (queues + VOQs)."""
+        return self._port_bytes[port_index]
+
+    # -- dequeue hook -------------------------------------------------------------------
+
+    def on_port_dequeue(self, port: EgressPort, pkt: Packet, queue_idx: int) -> None:
+        if self.tracer is not None:
+            self.tracer.record(self.sim.now, self.name, "tx", pkt)
+        stats = self.stats
+        if pkt.ecn_capable:  # DATA packets only
+            if self.buffer is not None:
+                self.buffer.release(pkt.size, pkt.ingress_port)
+            self._port_bytes[port.index] -= pkt.size
+            if stats is not None:
+                stats.record_queuing(
+                    self.port_roles[port.index],
+                    pkt.flow_id,
+                    self.sim.now - pkt.enqueue_time,
+                )
+            if self.int_enabled and pkt.int_records is not None:
+                qlen = None
+                if self.extension is not None:
+                    qlen = self.extension.adjusted_qlen(pkt, port)
+                if qlen is None:
+                    qlen = port.data_bytes_queued
+                pkt.int_records.append(
+                    IntRecord(qlen, port.tx_bytes, self.sim.now, port.bandwidth)
+                )
+        if self.extension is not None:
+            self.extension.on_dequeue(port, pkt, queue_idx)
+        if stats is not None and stats.track_bandwidth:
+            if pkt.kind == PacketKind.DATA:
+                stats.record_tx(BW_DATA, pkt.size)
+            elif pkt.kind in (PacketKind.CREDIT, PacketKind.SWITCH_SYN):
+                stats.record_tx(BW_CREDIT, pkt.size)
+            else:
+                stats.record_tx(BW_CTRL, pkt.size)
+
+    # -- PFC generation --------------------------------------------------------------------
+
+    def _send_pfc_pause(self, ingress_port: int) -> None:
+        """Our ingress crossed the threshold: pause the upstream peer."""
+        peer = self.peer(ingress_port)
+        frame = Packet.control(PacketKind.PFC_PAUSE, self.node_id, peer.node_id)
+        self.ports[ingress_port].enqueue_control(frame)
+        if self.stats is not None:
+            self.stats.record_pfc_event()
+
+    def _send_pfc_resume(self, ingress_port: int) -> None:
+        peer = self.peer(ingress_port)
+        frame = Packet.control(PacketKind.PFC_RESUME, self.node_id, peer.node_id)
+        self.ports[ingress_port].enqueue_control(frame)
+
+    def report_pause_time(self) -> None:
+        """Flush accumulated egress pause durations into the stats hub."""
+        if self.stats is None:
+            return
+        for port in self.ports:
+            paused = port.total_paused_time
+            if port.pause_started >= 0:  # still paused at end of run
+                paused += self.sim.now - port.pause_started
+            if paused:
+                self.stats.record_pfc_pause(self.kind, paused)

@@ -1,0 +1,411 @@
+"""Topology construction and shortest-path ECMP routing.
+
+Builders cover every topology in the paper:
+
+* :func:`build_leaf_spine` — the main 2-level evaluation fabric
+  (4 spines x 10 ToRs x 16 hosts at paper scale);
+* :func:`build_fat_tree` — the 8-ary, 3-tier robustness topology;
+* :func:`build_testbed` — the 1-core / 3-ToR / 6-host testbed (§5.2);
+* :func:`build_dumbbell` — a 2-ToR micro-topology for unit tests.
+
+Routing is hop-count BFS from every destination host; a switch's route
+entry lists all ports on shortest paths (ECMP).  Port *roles* label
+each egress for the paper's per-hop buffer accounting (ToR-Up, Core,
+ToR-Down, Edge-Up, Agg-Down, ...).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.cc.flow import Flow
+from repro.net.host import Host
+from repro.net.link import Link
+from repro.net.node import Node
+from repro.net.switch import Switch
+from repro.sim.engine import Simulator
+from repro.units import gbps, ns
+
+
+class PortRole:
+    """Egress-port role labels used in the paper's figures."""
+
+    HOST_UP = "host-up"      # host NIC toward its ToR
+    TOR_UP = "tor-up"        # ToR toward spine/core (first packet hop)
+    TOR_DOWN = "tor-down"    # ToR toward hosts (last packet hop)
+    CORE = "core"            # spine/core toward ToRs/aggs
+    EDGE_UP = "edge-up"      # fat tree: edge toward agg
+    EDGE_DOWN = "edge-down"  # fat tree: edge toward hosts
+    AGG_UP = "agg-up"        # fat tree: agg toward core
+    AGG_DOWN = "agg-down"    # fat tree: agg toward edge
+
+
+#: factory signature: (sim, node_id, name) -> Host
+HostFactory = Callable[[Simulator, int, str], Host]
+#: factory signature: (sim, node_id, name, kind, level) -> Switch
+SwitchFactory = Callable[[Simulator, int, str, str, int], Switch]
+
+#: switch node ids start here so host ids stay small and contiguous
+SWITCH_ID_BASE = 1_000_000
+
+
+@dataclass
+class Topology:
+    """A built network: nodes, links, and shared flow state."""
+
+    sim: Simulator
+    hosts: List[Host] = field(default_factory=list)
+    switches: List[Switch] = field(default_factory=list)
+    links: List[Link] = field(default_factory=list)
+    flow_table: Dict[int, Flow] = field(default_factory=dict)
+    #: unloaded round-trip time between the two most distant hosts, ns
+    base_rtt: int = 0
+    #: one-hop host link bandwidth, bits/s
+    host_bandwidth: float = 0.0
+
+    def host_by_id(self, node_id: int) -> Host:
+        return self.hosts[node_id]
+
+    def switches_of_kind(self, kind: str) -> List[Switch]:
+        return [s for s in self.switches if s.kind == kind]
+
+    def connect(
+        self,
+        a: Node,
+        b: Node,
+        bandwidth: float,
+        delay: int,
+        role_a: str = "unknown",
+        role_b: str = "unknown",
+        rr_queues: int = 0,
+    ) -> Link:
+        """Create a link and both endpoints' egress ports."""
+        link = Link(self.sim, a, b, bandwidth, delay)
+        idx_a = a.attach_link(link, rr_data_queues=rr_queues)
+        idx_b = b.attach_link(link, rr_data_queues=rr_queues)
+        if isinstance(a, Switch):
+            a.port_roles[idx_a] = role_a
+        if isinstance(b, Switch):
+            b.port_roles[idx_b] = role_b
+        self.links.append(link)
+        return link
+
+    # -- routing --------------------------------------------------------------------
+
+    def compute_routes(self) -> None:
+        """Populate every switch's route table with BFS/ECMP entries."""
+        for host in self.hosts:
+            self._routes_to(host)
+
+    def _routes_to(self, dst: Host) -> None:
+        dist: Dict[int, int] = {dst.node_id: 0}
+        frontier: deque[Node] = deque([dst])
+        nodes: Dict[int, Node] = {dst.node_id: dst}
+        while frontier:
+            node = frontier.popleft()
+            d = dist[node.node_id]
+            for link in node.links:
+                peer = link.peer_of(node)
+                if peer.node_id not in dist:
+                    dist[peer.node_id] = d + 1
+                    nodes[peer.node_id] = peer
+                    # hosts other than dst never forward traffic
+                    if isinstance(peer, Switch):
+                        frontier.append(peer)
+        for switch in self.switches:
+            my_dist = dist.get(switch.node_id)
+            if my_dist is None:
+                continue  # disconnected from this dst
+            candidates: List[int] = []
+            for idx, link in enumerate(switch.links):
+                peer = link.peer_of(switch)
+                peer_dist = dist.get(peer.node_id)
+                if peer_dist is not None and peer_dist == my_dist - 1:
+                    candidates.append(idx)
+            if not candidates:
+                continue
+            if len(candidates) == 1:
+                switch.set_route(dst.node_id, candidates[0])
+            else:
+                switch.set_route(dst.node_id, tuple(candidates))
+            if my_dist == 1:
+                switch.connected_hosts[dst.node_id] = candidates[0]
+
+    def finalize(self) -> None:
+        """Compute routes and create switch buffers; call once."""
+        self.compute_routes()
+        for switch in self.switches:
+            switch.finalize()
+
+    # -- flows --------------------------------------------------------------------------
+
+    def make_flow(
+        self, flow_id: int, src: int, dst: int, size: int, start_time: int
+    ) -> Flow:
+        """Register a flow in the shared table (not yet started)."""
+        flow = Flow(flow_id, src, dst, size, start_time)
+        self.flow_table[flow_id] = flow
+        return flow
+
+    def start_flow(self, flow: Flow) -> None:
+        """Schedule the flow's first packet at its start time."""
+        self.sim.schedule_at(
+            max(flow.start_time, self.sim.now),
+            self.hosts[flow.src].start_flow,
+            flow,
+        )
+
+    def report_pause_times(self) -> None:
+        """Flush PFC pause accounting on every node (end of run)."""
+        for switch in self.switches:
+            switch.report_pause_time()
+        for host in self.hosts:
+            host.report_pause_time()
+
+
+# ---------------------------------------------------------------------------
+# builders
+# ---------------------------------------------------------------------------
+
+
+def build_leaf_spine(
+    sim: Simulator,
+    host_factory: HostFactory,
+    switch_factory: SwitchFactory,
+    n_spines: int = 4,
+    n_tors: int = 10,
+    hosts_per_tor: int = 16,
+    host_bandwidth: float = gbps(100),
+    spine_bandwidth: float = gbps(400),
+    link_delay: int = ns(600),
+    host_link_delay: int = 0,
+    rr_queues: int = 0,
+) -> Topology:
+    """The paper's 2-level leaf-spine fabric (§6, default topology).
+
+    ``host_link_delay`` (defaults to ``link_delay``) lets scaled-down
+    configurations keep the end-to-end BDP large while the per-hop
+    switch-to-switch BDP stays small — see EXPERIMENTS.md.
+    """
+    host_link_delay = host_link_delay or link_delay
+    topo = Topology(sim)
+    topo.host_bandwidth = host_bandwidth
+    next_switch = SWITCH_ID_BASE
+    spines: List[Switch] = []
+    for i in range(n_spines):
+        sw = switch_factory(sim, next_switch, f"spine{i}", "core", 1)
+        next_switch += 1
+        spines.append(sw)
+        topo.switches.append(sw)
+    for t in range(n_tors):
+        tor = switch_factory(sim, next_switch, f"tor{t}", "tor", 0)
+        next_switch += 1
+        topo.switches.append(tor)
+        for h in range(hosts_per_tor):
+            hid = t * hosts_per_tor + h
+            host = host_factory(sim, hid, f"h{hid}")
+            topo.hosts.append(host)
+            topo.connect(
+                tor,
+                host,
+                host_bandwidth,
+                host_link_delay,
+                role_a=PortRole.TOR_DOWN,
+                role_b=PortRole.HOST_UP,
+                rr_queues=rr_queues,
+            )
+        for spine in spines:
+            topo.connect(
+                tor,
+                spine,
+                spine_bandwidth,
+                link_delay,
+                role_a=PortRole.TOR_UP,
+                role_b=PortRole.CORE,
+                rr_queues=rr_queues,
+            )
+    topo.finalize()
+    # host -> ToR -> spine -> ToR -> host: 4 links each way
+    topo.base_rtt = _path_rtt(
+        [
+            (host_bandwidth, host_link_delay),
+            (spine_bandwidth, link_delay),
+            (spine_bandwidth, link_delay),
+            (host_bandwidth, host_link_delay),
+        ]
+    )
+    return topo
+
+
+def build_fat_tree(
+    sim: Simulator,
+    host_factory: HostFactory,
+    switch_factory: SwitchFactory,
+    k: int = 8,
+    hosts_per_edge: int = 4,
+    host_bandwidth: float = gbps(100),
+    fabric_bandwidth: float = gbps(100),
+    link_delay: int = ns(600),
+    host_link_delay: int = 0,
+    rr_queues: int = 0,
+) -> Topology:
+    """k-ary fat tree (k pods, k/2 edge + k/2 agg per pod, (k/2)^2 cores).
+
+    With ``k=8`` and 4 hosts per edge this is the paper's 3-tier
+    robustness topology: 32 edges, 32 aggs, 16 cores, 128 hosts.
+    """
+    if k % 2:
+        raise ValueError(f"fat tree arity must be even, got {k}")
+    host_link_delay = host_link_delay or link_delay
+    half = k // 2
+    topo = Topology(sim)
+    topo.host_bandwidth = host_bandwidth
+    next_switch = SWITCH_ID_BASE
+    cores: List[Switch] = []
+    for i in range(half * half):
+        sw = switch_factory(sim, next_switch, f"core{i}", "core", 2)
+        next_switch += 1
+        cores.append(sw)
+        topo.switches.append(sw)
+    hid = 0
+    for pod in range(k):
+        aggs: List[Switch] = []
+        for a in range(half):
+            sw = switch_factory(sim, next_switch, f"agg{pod}.{a}", "agg", 1)
+            next_switch += 1
+            aggs.append(sw)
+            topo.switches.append(sw)
+        for e in range(half):
+            edge = switch_factory(sim, next_switch, f"edge{pod}.{e}", "tor", 0)
+            next_switch += 1
+            topo.switches.append(edge)
+            for _ in range(hosts_per_edge):
+                host = host_factory(sim, hid, f"h{hid}")
+                hid += 1
+                topo.hosts.append(host)
+                topo.connect(
+                    edge,
+                    host,
+                    host_bandwidth,
+                    host_link_delay,
+                    role_a=PortRole.EDGE_DOWN,
+                    role_b=PortRole.HOST_UP,
+                    rr_queues=rr_queues,
+                )
+            for agg in aggs:
+                topo.connect(
+                    edge,
+                    agg,
+                    fabric_bandwidth,
+                    link_delay,
+                    role_a=PortRole.EDGE_UP,
+                    role_b=PortRole.AGG_DOWN,
+                    rr_queues=rr_queues,
+                )
+        for a, agg in enumerate(aggs):
+            for c in range(half):
+                core = cores[a * half + c]
+                topo.connect(
+                    agg,
+                    core,
+                    fabric_bandwidth,
+                    link_delay,
+                    role_a=PortRole.AGG_UP,
+                    role_b=PortRole.CORE,
+                    rr_queues=rr_queues,
+                )
+    topo.finalize()
+    topo.base_rtt = _path_rtt(
+        [(host_bandwidth, host_link_delay)]
+        + [(fabric_bandwidth, link_delay)] * 4
+        + [(host_bandwidth, host_link_delay)]
+    )
+    return topo
+
+
+def build_testbed(
+    sim: Simulator,
+    host_factory: HostFactory,
+    switch_factory: SwitchFactory,
+    hosts_per_tor: int = 2,
+    n_tors: int = 3,
+    host_bandwidth: float = gbps(10),
+    core_bandwidth: float = gbps(20),
+    link_delay: int = ns(1000),
+    host_link_delay: int = 0,
+    rr_queues: int = 0,
+) -> Topology:
+    """The §5.2 testbed: one core, three ToRs, two hosts per ToR."""
+    return build_leaf_spine(
+        sim,
+        host_factory,
+        switch_factory,
+        n_spines=1,
+        n_tors=n_tors,
+        hosts_per_tor=hosts_per_tor,
+        host_bandwidth=host_bandwidth,
+        spine_bandwidth=core_bandwidth,
+        link_delay=link_delay,
+        host_link_delay=host_link_delay,
+        rr_queues=rr_queues,
+    )
+
+
+def build_dumbbell(
+    sim: Simulator,
+    host_factory: HostFactory,
+    switch_factory: SwitchFactory,
+    hosts_per_side: int = 2,
+    host_bandwidth: float = gbps(10),
+    trunk_bandwidth: float = gbps(10),
+    link_delay: int = ns(500),
+    rr_queues: int = 0,
+) -> Topology:
+    """Two ToRs joined by one trunk link — the unit-test micro-fabric."""
+    topo = Topology(sim)
+    topo.host_bandwidth = host_bandwidth
+    left = switch_factory(sim, SWITCH_ID_BASE, "torL", "tor", 0)
+    right = switch_factory(sim, SWITCH_ID_BASE + 1, "torR", "tor", 0)
+    topo.switches.extend([left, right])
+    for i in range(hosts_per_side * 2):
+        tor = left if i < hosts_per_side else right
+        host = host_factory(sim, i, f"h{i}")
+        topo.hosts.append(host)
+        topo.connect(
+            tor,
+            host,
+            host_bandwidth,
+            link_delay,
+            role_a=PortRole.TOR_DOWN,
+            role_b=PortRole.HOST_UP,
+            rr_queues=rr_queues,
+        )
+    topo.connect(
+        left,
+        right,
+        trunk_bandwidth,
+        link_delay,
+        role_a=PortRole.TOR_UP,
+        role_b=PortRole.TOR_UP,
+        rr_queues=rr_queues,
+    )
+    topo.finalize()
+    topo.base_rtt = _path_rtt(
+        [
+            (host_bandwidth, link_delay),
+            (trunk_bandwidth, link_delay),
+            (host_bandwidth, link_delay),
+        ]
+    )
+    return topo
+
+
+def _path_rtt(hops: List[Tuple[float, int]]) -> int:
+    """Unloaded RTT along a path of ``(bandwidth, delay)`` hops."""
+    from repro.units import MTU, serialization_delay
+
+    one_way = sum(d + serialization_delay(MTU, bw) for bw, d in hops)
+    ack_way = sum(d + serialization_delay(64, bw) for bw, d in hops)
+    return one_way + ack_way

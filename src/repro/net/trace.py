@@ -1,0 +1,129 @@
+"""Per-packet tracing for debugging and path inspection.
+
+Attach a :class:`PacketTracer` to any subset of switches/hosts and it
+records packet lifecycle events (switch arrival, egress dequeue, host
+delivery) with timestamps.  Filters keep the hot path cheap and the
+trace small; helpers reconstruct a packet's hop-by-hop path — the tool
+you want when asking "where exactly did this flow queue?".
+
+Tracing is strictly opt-in: untraced runs pay a single ``is None``
+check per event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, List, Optional, Set, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.packet import Packet
+    from repro.net.topology import Topology
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded packet event."""
+
+    time: int
+    node: str
+    action: str      # "rx" | "tx" | "deliver" | "drop"
+    kind: str
+    flow_id: int
+    seq: int
+    size: int
+
+    def __str__(self) -> str:  # pragma: no cover - formatting aid
+        return (
+            f"{self.time:>12d} ns  {self.node:<10s} {self.action:<7s}"
+            f" {self.kind:<10s} flow={self.flow_id} seq={self.seq}"
+            f" {self.size}B"
+        )
+
+
+class PacketTracer:
+    """Event recorder with flow/kind filters and a hard size cap."""
+
+    def __init__(
+        self,
+        flow_ids: Optional[Iterable[int]] = None,
+        kinds: Optional[Iterable[str]] = None,
+        max_events: int = 100_000,
+    ) -> None:
+        self.flow_filter: Optional[Set[int]] = (
+            set(flow_ids) if flow_ids is not None else None
+        )
+        self.kind_filter: Optional[Set[str]] = (
+            set(kinds) if kinds is not None else None
+        )
+        self.max_events = max_events
+        self.events: List[TraceEvent] = []
+        self.dropped_events = 0
+
+    # -- recording (hot path) ------------------------------------------------------
+
+    def record(
+        self, time: int, node: str, action: str, pkt: "Packet"
+    ) -> None:
+        if self.flow_filter is not None and pkt.flow_id not in self.flow_filter:
+            return
+        kind = pkt.kind.name
+        if self.kind_filter is not None and kind not in self.kind_filter:
+            return
+        if len(self.events) >= self.max_events:
+            self.dropped_events += 1
+            return
+        self.events.append(
+            TraceEvent(time, node, action, kind, pkt.flow_id, pkt.seq, pkt.size)
+        )
+
+    # -- installation ---------------------------------------------------------------
+
+    def attach(self, topology: "Topology") -> None:
+        """Install on every switch and host of a topology."""
+        for sw in topology.switches:
+            sw.tracer = self
+        for host in topology.hosts:
+            host.tracer = self
+
+    # -- queries -----------------------------------------------------------------------
+
+    def of_flow(self, flow_id: int) -> List[TraceEvent]:
+        return [e for e in self.events if e.flow_id == flow_id]
+
+    def path_of(self, flow_id: int, seq: int) -> List[Tuple[int, str, str]]:
+        """(time, node, action) steps of one packet, in order."""
+        return [
+            (e.time, e.node, e.action)
+            for e in self.events
+            if e.flow_id == flow_id and e.seq == seq and e.kind == "DATA"
+        ]
+
+    def hops_of(self, flow_id: int, seq: int) -> List[str]:
+        """Distinct switch/host names the packet visited, in order."""
+        hops: List[str] = []
+        for _, node, action in self.path_of(flow_id, seq):
+            if action in ("rx", "deliver") and (not hops or hops[-1] != node):
+                hops.append(node)
+        return hops
+
+    def queueing_delay(self, flow_id: int, seq: int, node: str) -> Optional[int]:
+        """ns between a packet's arrival and departure at ``node``."""
+        rx = tx = None
+        for e in self.events:
+            if e.flow_id != flow_id or e.seq != seq or e.kind != "DATA":
+                continue
+            if e.node == node and e.action == "rx":
+                rx = e.time
+            elif e.node == node and e.action == "tx" and rx is not None:
+                tx = e.time
+                break
+        if rx is None or tx is None:
+            return None
+        return tx - rx
+
+    def dump(self, limit: int = 50) -> str:
+        """Human-readable transcript of the first ``limit`` events."""
+        lines = [str(e) for e in self.events[:limit]]
+        if len(self.events) > limit:
+            lines.append(f"... {len(self.events) - limit} more events")
+        return "\n".join(lines)

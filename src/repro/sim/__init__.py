@@ -1,0 +1,13 @@
+"""Discrete-event simulation engine.
+
+A minimal, fast, deterministic event engine: an integer-nanosecond clock,
+a binary-heap event queue, and callback-based events.  This is the
+substrate the network model runs on (the paper used NS-3; see DESIGN.md
+for the substitution argument).
+"""
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.process import PeriodicTask, Timer
+from repro.sim.rng import RngRegistry
+
+__all__ = ["Event", "Simulator", "PeriodicTask", "Timer", "RngRegistry"]

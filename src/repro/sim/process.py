@@ -1,0 +1,99 @@
+"""Timer and periodic-task helpers built on the raw event engine.
+
+These wrap the common stateful patterns in network protocols: a
+restartable one-shot timer (retransmission timeouts, switchSYN
+timeouts) and a periodic task (credit timers, rate-increase timers)
+that can be paused and resumed without leaking events.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.engine import Event, Simulator
+
+
+class Timer:
+    """A restartable one-shot timer.
+
+    ``start`` (re)arms the timer; ``stop`` disarms it.  The callback
+    fires once per arming.  Restarting an armed timer cancels the
+    pending expiry first, so at most one expiry is ever outstanding.
+    """
+
+    def __init__(self, sim: Simulator, fn: Callable[..., Any], *args: Any) -> None:
+        self._sim = sim
+        self._fn = fn
+        self._args = args
+        self._event: Optional[Event] = None
+
+    @property
+    def armed(self) -> bool:
+        """True while an expiry is pending."""
+        return self._event is not None and not self._event.cancelled
+
+    def start(self, delay: int) -> None:
+        """Arm (or re-arm) the timer to fire ``delay`` ns from now."""
+        self.stop()
+        self._event = self._sim.schedule(delay, self._fire)
+
+    def stop(self) -> None:
+        """Disarm the timer if armed."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        self._fn(*self._args)
+
+
+class PeriodicTask:
+    """Calls ``fn`` every ``interval`` ns until stopped.
+
+    The first call happens one full interval after :meth:`start` (use
+    ``phase`` to shift it).  The callback runs before the next interval
+    is scheduled, so a callback that calls :meth:`stop` terminates the
+    task cleanly.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: int,
+        fn: Callable[..., Any],
+        *args: Any,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self._sim = sim
+        self.interval = interval
+        self._fn = fn
+        self._args = args
+        self._event: Optional[Event] = None
+        self._running = False
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def start(self, phase: int = 0) -> None:
+        """Begin ticking; first tick at ``now + interval + phase``."""
+        if self._running:
+            return
+        self._running = True
+        self._event = self._sim.schedule(self.interval + phase, self._tick)
+
+    def stop(self) -> None:
+        """Stop ticking; the pending tick is cancelled."""
+        self._running = False
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self._fn(*self._args)
+        if self._running:
+            self._event = self._sim.schedule(self.interval, self._tick)

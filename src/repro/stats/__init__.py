@@ -1,0 +1,15 @@
+"""Measurement infrastructure: FCT, buffers, PFC, queueing, bandwidth."""
+
+from repro.stats.collector import FlowClass, StatsHub
+from repro.stats.fct import FctRecord, FctSummary, summarize_fct
+from repro.stats.timeseries import ThroughputMonitor, BufferSampler
+
+__all__ = [
+    "FlowClass",
+    "StatsHub",
+    "FctRecord",
+    "FctSummary",
+    "summarize_fct",
+    "ThroughputMonitor",
+    "BufferSampler",
+]

@@ -1,0 +1,91 @@
+"""Terminal plotting for time series and CDFs.
+
+The environment this reproduction targets has no plotting stack, so
+the figure modules return raw series and this module renders them as
+ASCII charts — enough to eyeball the shapes the paper plots (realtime
+throughput, FCT CDFs, buffer-vs-flows curves).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+Series = Sequence[Tuple[float, float]]
+
+#: glyphs assigned to successive series in a multi-line chart
+GLYPHS = "*o+x#@%&"
+
+
+def line_chart(
+    series: Dict[str, Series],
+    width: int = 72,
+    height: int = 16,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render one or more (x, y) series on a shared-axis ASCII grid."""
+    points = [(x, y) for s in series.values() for x, y in s]
+    if not points:
+        return "(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for glyph, (name, data) in zip(GLYPHS, series.items()):
+        for x, y in data:
+            col = int((x - x_min) / (x_max - x_min) * (width - 1))
+            row = int((y - y_min) / (y_max - y_min) * (height - 1))
+            grid[height - 1 - row][col] = glyph
+    lines: List[str] = []
+    lines.append(f"{y_max:10.2f} +" + "-" * width + "+")
+    for row in grid:
+        lines.append(" " * 11 + "|" + "".join(row) + "|")
+    lines.append(f"{y_min:10.2f} +" + "-" * width + "+")
+    lines.append(
+        " " * 12 + f"{x_min:<12.3f}" + x_label.center(width - 24) + f"{x_max:>12.3f}"
+    )
+    legend = "   ".join(
+        f"{glyph}={name}" for glyph, name in zip(GLYPHS, series)
+    )
+    lines.append(" " * 12 + legend)
+    if y_label:
+        lines.insert(0, f"[{y_label}]")
+    return "\n".join(lines)
+
+
+def cdf_chart(
+    cdfs: Dict[str, Series],
+    width: int = 72,
+    height: int = 14,
+    x_label: str = "FCT (ms)",
+) -> str:
+    """Render FCT CDFs (y is always the 0..1 fraction)."""
+    clamped = {
+        name: [(x, min(max(y, 0.0), 1.0)) for x, y in data]
+        for name, data in cdfs.items()
+    }
+    return line_chart(
+        clamped, width=width, height=height, x_label=x_label, y_label="CDF"
+    )
+
+
+def bar_chart(
+    values: Dict[str, float],
+    width: int = 48,
+    unit: str = "",
+) -> str:
+    """Horizontal bars for categorical comparisons (e.g. max buffer)."""
+    if not values:
+        return "(no data)"
+    peak = max(values.values()) or 1.0
+    label_w = max(len(k) for k in values)
+    lines = []
+    for name, value in values.items():
+        bar = "#" * max(1, int(value / peak * width)) if value > 0 else ""
+        lines.append(f"{name:<{label_w}s} |{bar:<{width}s}| {value:.3f}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,173 @@
+"""Central measurement hub.
+
+One :class:`StatsHub` instance is shared by every device in an
+experiment.  Devices push raw events (packet dequeued, PFC pause
+started, flow finished); the hub keeps exactly the aggregates the
+paper's figures need, so hot-path cost stays O(1) per event.
+
+Flow classification follows §6.1: *incast* flows, *victims of incast*
+(Poisson flows whose destination shares the incast destination's ToR),
+and *victims of PFC* (all other Poisson flows).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.stats.fct import FctRecord
+
+
+class FlowClass(str, Enum):
+    """The paper's three traffic classes (§6.1, Fig. 9)."""
+
+    INCAST = "incast"
+    VICTIM_INCAST = "victim_incast"
+    VICTIM_PFC = "victim_pfc"
+
+
+#: Bandwidth-overhead categories for Fig. 18.
+BW_DATA = "data"
+BW_CTRL = "ctrl"      # host ACK / NACK / CNP / pulls
+BW_CREDIT = "credit"  # Floodgate credits + switchSYN
+
+
+class StatsHub:
+    """Aggregated run statistics.
+
+    Attributes are plain dictionaries/lists so result formatting code
+    can consume them directly; convenience accessors cover the common
+    queries.
+    """
+
+    def __init__(self) -> None:
+        # --- flow completion -------------------------------------------------
+        self.fct_records: List[FctRecord] = []
+        self.flow_class: Dict[int, FlowClass] = {}
+        # --- buffers ----------------------------------------------------------
+        #: per-switch max total occupancy: name -> bytes
+        self.switch_max_buffer: Dict[str, int] = {}
+        #: per (switch, port-role) max single-port occupancy
+        self.port_max_buffer: Dict[Tuple[str, str], int] = {}
+        #: network-wide max over per-switch totals
+        self.max_switch_buffer: int = 0
+        # --- queuing time (role -> [sum_ns, count]), split by incast ---------
+        self.queuing_incast: Dict[str, List[int]] = {}
+        self.queuing_normal: Dict[str, List[int]] = {}
+        # --- PFC ------------------------------------------------------------------
+        #: node-kind ("host"/"tor"/"core"/...) -> total paused ns
+        self.pfc_paused_time: Dict[str, int] = {}
+        self.pfc_pause_events: int = 0
+        # --- drops ------------------------------------------------------------------
+        self.packets_dropped: int = 0
+        # --- bandwidth breakdown (Fig. 18) ------------------------------------
+        self.track_bandwidth: bool = False
+        self.tx_bytes_by_category: Dict[str, int] = {
+            BW_DATA: 0,
+            BW_CTRL: 0,
+            BW_CREDIT: 0,
+        }
+        # --- per-class receive bytes (realtime throughput, Fig. 2/12) -------
+        self.rx_bytes_by_class: Dict[Optional[FlowClass], int] = {}
+        # incast flow ids, registered by the workload generator
+        self._incast_flows: Set[int] = set()
+
+    # -- flow classes ---------------------------------------------------------------
+
+    def register_incast_flow(self, flow_id: int) -> None:
+        """Mark ``flow_id`` as belonging to incast traffic."""
+        self._incast_flows.add(flow_id)
+        self.flow_class[flow_id] = FlowClass.INCAST
+
+    def register_flow_class(self, flow_id: int, cls: FlowClass) -> None:
+        self.flow_class[flow_id] = cls
+        if cls is FlowClass.INCAST:
+            self._incast_flows.add(flow_id)
+
+    def is_incast_flow(self, flow_id: int) -> bool:
+        return flow_id in self._incast_flows
+
+    # -- event sinks (hot path) --------------------------------------------------------
+
+    def record_fct(self, record: FctRecord) -> None:
+        self.fct_records.append(record)
+
+    def record_queuing(self, role: str, flow_id: int, delay: int) -> None:
+        table = (
+            self.queuing_incast
+            if flow_id in self._incast_flows
+            else self.queuing_normal
+        )
+        cell = table.get(role)
+        if cell is None:
+            table[role] = [delay, 1]
+        else:
+            cell[0] += delay
+            cell[1] += 1
+
+    def record_switch_buffer(self, name: str, used: int) -> None:
+        if used > self.switch_max_buffer.get(name, 0):
+            self.switch_max_buffer[name] = used
+            if used > self.max_switch_buffer:
+                self.max_switch_buffer = used
+
+    def record_port_buffer(self, switch: str, role: str, used: int) -> None:
+        key = (switch, role)
+        if used > self.port_max_buffer.get(key, 0):
+            self.port_max_buffer[key] = used
+
+    def record_pfc_pause(self, node_kind: str, duration: int) -> None:
+        self.pfc_paused_time[node_kind] = (
+            self.pfc_paused_time.get(node_kind, 0) + duration
+        )
+
+    def record_pfc_event(self) -> None:
+        self.pfc_pause_events += 1
+
+    def record_drop(self, count: int = 1) -> None:
+        self.packets_dropped += count
+
+    def record_tx(self, category: str, size: int) -> None:
+        if self.track_bandwidth:
+            self.tx_bytes_by_category[category] += size
+
+    def record_rx(self, flow_id: int, size: int) -> None:
+        cls = self.flow_class.get(flow_id)
+        self.rx_bytes_by_class[cls] = self.rx_bytes_by_class.get(cls, 0) + size
+
+    def rx_bytes_of_class(self, cls: Optional[FlowClass]) -> int:
+        """Monotone rx-byte counter for one class (throughput source)."""
+        return self.rx_bytes_by_class.get(cls, 0)
+
+    # -- queries --------------------------------------------------------------------
+
+    def fct_of_class(self, cls: Optional[FlowClass]) -> List[FctRecord]:
+        """Finished flows of one class (``None`` = non-incast flows)."""
+        if cls is None:
+            return [
+                r
+                for r in self.fct_records
+                if self.flow_class.get(r.flow_id) is not FlowClass.INCAST
+            ]
+        return [
+            r for r in self.fct_records if self.flow_class.get(r.flow_id) is cls
+        ]
+
+    def max_port_buffer_by_role(self, role: str) -> int:
+        """Largest single-port occupancy seen on ports with ``role``."""
+        return max(
+            (v for (_, r), v in self.port_max_buffer.items() if r == role),
+            default=0,
+        )
+
+    def avg_queuing_by_role(self, role: str, incast: bool = False) -> float:
+        """Mean per-packet queueing delay (ns) at ports with ``role``."""
+        table = self.queuing_incast if incast else self.queuing_normal
+        cell = table.get(role)
+        if not cell or cell[1] == 0:
+            return 0.0
+        return cell[0] / cell[1]
+
+    def total_pfc_paused_us(self, node_kind: str) -> float:
+        """Total PFC paused time for a node class, in microseconds."""
+        return self.pfc_paused_time.get(node_kind, 0) / 1_000.0

@@ -1,0 +1,122 @@
+"""Time-series monitors: realtime throughput and buffer occupancy.
+
+Used by the figures that plot quantities against time (Fig. 2 realtime
+throughput, Fig. 12 loss robustness, Fig. 16 realtime buffer) rather
+than end-of-run aggregates.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+
+from repro.sim.engine import Simulator
+from repro.sim.process import PeriodicTask
+from repro.units import SEC
+
+
+class ThroughputMonitor:
+    """Samples byte counters periodically and reports Gbps per series.
+
+    ``sources`` maps a series name to a zero-argument callable that
+    returns a monotonically increasing byte count (e.g. the sum of
+    ``rx_data_bytes`` over a set of hosts); the monitor differentiates
+    it into a rate.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        sources: Dict[str, Callable[[], int]],
+        interval: int,
+    ) -> None:
+        self.sim = sim
+        self.sources = sources
+        self.interval = interval
+        self.samples: Dict[str, List[Tuple[int, float]]] = {
+            name: [] for name in sources
+        }
+        self._last: Dict[str, int] = {name: 0 for name in sources}
+        self._task = PeriodicTask(sim, interval, self._sample)
+
+    def start(self) -> None:
+        for name, fn in self.sources.items():
+            self._last[name] = fn()
+        self._task.start()
+
+    def stop(self) -> None:
+        self._task.stop()
+
+    def _sample(self) -> None:
+        for name, fn in self.sources.items():
+            current = fn()
+            delta = current - self._last[name]
+            self._last[name] = current
+            gbps_now = delta * 8 / self.interval  # bytes/ns*8 == Gbps
+            self.samples[name].append((self.sim.now, gbps_now))
+
+    def series(self, name: str) -> List[Tuple[float, float]]:
+        """Samples for one series as ``(time_ms, gbps)`` pairs."""
+        return [(t / 1_000_000.0, v) for t, v in self.samples[name]]
+
+    def peak(self, name: str) -> float:
+        """Largest sampled rate (Gbps) for one series."""
+        return max((v for _, v in self.samples[name]), default=0.0)
+
+    def mean_after(self, name: str, t_start: int = 0) -> float:
+        """Mean rate (Gbps) over samples at or after ``t_start`` ns."""
+        vals = [v for t, v in self.samples[name] if t >= t_start]
+        return sum(vals) / len(vals) if vals else 0.0
+
+    def first_nonzero_time(self, name: str) -> float:
+        """Time (ms) of the first sample with nonzero rate, or -1."""
+        for t, v in self.samples[name]:
+            if v > 0:
+                return t / 1_000_000.0
+        return -1.0
+
+
+class BufferSampler:
+    """Samples arbitrary gauges (e.g. switch buffer bytes) over time."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        gauges: Dict[str, Callable[[], int]],
+        interval: int,
+    ) -> None:
+        self.sim = sim
+        self.gauges = gauges
+        self.interval = interval
+        self.samples: Dict[str, List[Tuple[int, int]]] = {
+            name: [] for name in gauges
+        }
+        self._task = PeriodicTask(sim, interval, self._sample)
+
+    def start(self) -> None:
+        self._task.start()
+
+    def stop(self) -> None:
+        self._task.stop()
+
+    def _sample(self) -> None:
+        for name, fn in self.gauges.items():
+            self.samples[name].append((self.sim.now, fn()))
+
+    def max_value(self, name: str) -> int:
+        return max((v for _, v in self.samples[name]), default=0)
+
+    def value_at(self, name: str, time: int) -> int:
+        """Last sampled value at or before ``time`` (0 if none)."""
+        best = 0
+        for t, v in self.samples[name]:
+            if t > time:
+                break
+            best = v
+        return best
+
+
+def utilization(bytes_moved: int, bandwidth: float, duration: int) -> float:
+    """Fraction of ``bandwidth`` used moving ``bytes_moved`` in ``duration`` ns."""
+    if duration <= 0:
+        return 0.0
+    return (bytes_moved * 8 * SEC) / (bandwidth * duration)

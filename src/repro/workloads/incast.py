@@ -1,0 +1,116 @@
+"""Incast traffic patterns.
+
+Three shapes from the evaluation:
+
+* :func:`periodic_incast` — the §6 default: bursts of ``fan_in``
+  synchronized flows (30-40 MTU each) to one fixed destination,
+  repeating at an interval that realizes a target load on the
+  destination host (0.5 by default);
+* :func:`all_to_one_incast` — every host sends one flow to a single
+  destination simultaneously (Fig. 14 ToR scale-up);
+* :func:`successive_incast` — repeated all-to-one rounds, each round
+  targeting a *different* destination (Fig. 15).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.units import MTU
+from repro.workloads.poisson import FlowSpec
+
+
+@dataclass(frozen=True)
+class IncastSpec:
+    """One generated incast pattern: the flows plus its metadata."""
+
+    flows: List[FlowSpec]
+    destinations: List[int]
+    next_flow_id: int
+
+
+def _incast_size(rng: random.Random, mtu: int = MTU) -> int:
+    """Paper §6: incast flow sizes uniform between 30 and 40 MTU."""
+    return rng.randint(30, 40) * mtu
+
+
+def periodic_incast(
+    senders: Sequence[int],
+    dst: int,
+    host_bandwidth: float,
+    duration: int,
+    rng: random.Random,
+    load: float = 0.5,
+    first_flow_id: int = 0,
+    start: int = 0,
+    mtu: int = MTU,
+) -> IncastSpec:
+    """Synchronized bursts to ``dst`` at an average destination load.
+
+    Each burst has every sender transmit one 30-40 MTU flow at the
+    same instant; the burst interval is sized so the destination
+    host's average offered load equals ``load``.
+    """
+    if dst in senders:
+        raise ValueError("the incast destination cannot also be a sender")
+    if not 0.0 < load <= 1.0:
+        raise ValueError(f"incast load must be in (0, 1], got {load}")
+    mean_burst_bytes = len(senders) * 35 * mtu
+    interval = int(mean_burst_bytes * 8 / (load * host_bandwidth) * 1e9)
+    flows: List[FlowSpec] = []
+    fid = first_flow_id
+    t = start
+    end = start + duration
+    while t < end:
+        for src in senders:
+            flows.append(FlowSpec(fid, src, dst, _incast_size(rng, mtu), t))
+            fid += 1
+        t += interval
+    return IncastSpec(flows, [dst], fid)
+
+
+def all_to_one_incast(
+    senders: Sequence[int],
+    dst: int,
+    rng: random.Random,
+    first_flow_id: int = 0,
+    start: int = 0,
+    mtu: int = MTU,
+) -> IncastSpec:
+    """One synchronized burst: every sender -> ``dst`` (Fig. 14)."""
+    if dst in senders:
+        raise ValueError("the incast destination cannot also be a sender")
+    flows = []
+    fid = first_flow_id
+    for src in senders:
+        flows.append(FlowSpec(fid, src, dst, _incast_size(rng, mtu), start))
+        fid += 1
+    return IncastSpec(flows, [dst], fid)
+
+
+def successive_incast(
+    hosts: Sequence[int],
+    destinations: Sequence[int],
+    interval: int,
+    rng: random.Random,
+    first_flow_id: int = 0,
+    start: int = 0,
+    mtu: int = MTU,
+) -> IncastSpec:
+    """Back-to-back all-to-one rounds to different destinations (Fig. 15).
+
+    Round ``i`` starts at ``start + i * interval``; every host except
+    the round's destination sends one 30-40 MTU flow to it.
+    """
+    flows: List[FlowSpec] = []
+    fid = first_flow_id
+    for i, dst in enumerate(destinations):
+        t = start + i * interval
+        for src in hosts:
+            if src == dst:
+                continue
+            flows.append(FlowSpec(fid, src, dst, _incast_size(rng, mtu), t))
+            fid += 1
+    return IncastSpec(flows, list(destinations), fid)

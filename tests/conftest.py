@@ -1,0 +1,106 @@
+"""Shared fixtures: small topologies wired for direct unit testing."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import pytest
+
+from repro.cc.base import CcAlgorithm, StaticWindowCc
+from repro.net.host import Host
+from repro.net.switch import Switch
+from repro.net.topology import (
+    Topology,
+    build_dumbbell,
+    build_leaf_spine,
+)
+from repro.sim.engine import Simulator
+from repro.stats.collector import StatsHub
+from repro.units import gbps, kb, mb
+
+
+class MiniNet:
+    """A hand-buildable test network with direct component access."""
+
+    def __init__(
+        self,
+        topology: str = "dumbbell",
+        cc: Optional[CcAlgorithm] = None,
+        buffer_bytes: int = mb(1),
+        pfc: bool = True,
+        pfc_alpha: float = 2.0,
+        host_bandwidth: float = gbps(10),
+        fabric_bandwidth: float = gbps(40),
+        n_tors: int = 3,
+        hosts_per_tor: int = 4,
+    ) -> None:
+        self.sim = Simulator()
+        self.stats = StatsHub()
+        self.flow_table: Dict[int, object] = {}
+        self.cc = cc or StaticWindowCc(host_bandwidth, kb(30))
+        self.hosts = []
+
+        def host_factory(sim, nid, name):
+            host = Host(sim, nid, name, self.cc, self.flow_table, stats=self.stats)
+            self.hosts.append(host)
+            return host
+
+        def switch_factory(sim, nid, name, kind, level):
+            sw = Switch(
+                sim,
+                nid,
+                name,
+                buffer_capacity=buffer_bytes,
+                kind=kind,
+                pfc_enabled=pfc,
+                pfc_alpha=pfc_alpha,
+                stats=self.stats,
+            )
+            sw.level = level
+            return sw
+
+        if topology == "dumbbell":
+            self.topo: Topology = build_dumbbell(
+                self.sim,
+                host_factory,
+                switch_factory,
+                hosts_per_side=hosts_per_tor,
+                host_bandwidth=host_bandwidth,
+                trunk_bandwidth=fabric_bandwidth,
+            )
+        else:
+            self.topo = build_leaf_spine(
+                self.sim,
+                host_factory,
+                switch_factory,
+                n_spines=2,
+                n_tors=n_tors,
+                hosts_per_tor=hosts_per_tor,
+                host_bandwidth=host_bandwidth,
+                spine_bandwidth=fabric_bandwidth,
+            )
+        # hosts and topology share one flow table
+        self.topo.flow_table = self.flow_table
+
+    def flow(self, flow_id, src, dst, size, start=0):
+        f = self.topo.make_flow(flow_id, src, dst, size, start)
+        self.topo.start_flow(f)
+        return f
+
+    def run(self, until):
+        self.sim.run(until=until)
+
+    def all_buffers_empty(self) -> bool:
+        return all(sw.buffer.used == 0 for sw in self.topo.switches)
+
+
+@pytest.fixture
+def mini():
+    """A 2-ToR dumbbell with static-window hosts."""
+    return MiniNet()
+
+
+@pytest.fixture
+def leaf_spine():
+    """A 2-spine, 3-ToR leaf-spine fabric."""
+    return MiniNet(topology="leaf-spine")

@@ -1,0 +1,77 @@
+"""ASCII plotting utilities."""
+
+from hypothesis import given, strategies as st
+
+from repro.stats.asciiplot import bar_chart, cdf_chart, line_chart
+
+
+class TestLineChart:
+    def test_renders_all_series_glyphs(self):
+        out = line_chart(
+            {"a": [(0, 0), (1, 1)], "b": [(0, 1), (1, 0)]}, width=20, height=6
+        )
+        assert "*" in out and "o" in out
+        assert "*=a" in out and "o=b" in out
+
+    def test_empty_series(self):
+        assert line_chart({}) == "(no data)"
+        assert line_chart({"a": []}) == "(no data)"
+
+    def test_single_point(self):
+        out = line_chart({"a": [(5.0, 2.0)]}, width=10, height=4)
+        assert "*" in out
+
+    def test_flat_series_no_crash(self):
+        out = line_chart({"a": [(0, 3.0), (1, 3.0), (2, 3.0)]})
+        assert "*" in out
+
+    def test_axis_labels_present(self):
+        out = line_chart(
+            {"a": [(0, 0), (10, 5)]}, x_label="time", y_label="Gbps"
+        )
+        assert "time" in out and "Gbps" in out
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=-1e6, max_value=1e6),
+                st.floats(min_value=-1e6, max_value=1e6),
+            ),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    def test_never_crashes_and_stays_in_bounds(self, points):
+        out = line_chart({"s": points}, width=30, height=8)
+        lines = out.splitlines()
+        body = [l for l in lines if l.strip().startswith("|")]
+        assert all(len(l.strip()) <= 32 for l in body)
+
+
+class TestCdfChart:
+    def test_clamps_fractions(self):
+        out = cdf_chart({"x": [(0.1, -0.5), (0.2, 0.5), (0.3, 1.7)]})
+        assert "1.00" in out  # y axis capped at 1
+
+    def test_renders(self):
+        out = cdf_chart({"x": [(0.1, 0.25), (0.5, 0.5), (1.0, 1.0)]})
+        assert "CDF" in out
+
+
+class TestBarChart:
+    def test_bars_proportional(self):
+        out = bar_chart({"small": 1.0, "big": 4.0}, width=40)
+        small_line = next(l for l in out.splitlines() if l.startswith("small"))
+        big_line = next(l for l in out.splitlines() if l.startswith("big"))
+        assert big_line.count("#") > small_line.count("#")
+
+    def test_zero_value(self):
+        out = bar_chart({"zero": 0.0, "one": 1.0})
+        assert "zero" in out
+
+    def test_empty(self):
+        assert bar_chart({}) == "(no data)"
+
+    def test_unit_suffix(self):
+        out = bar_chart({"a": 2.0}, unit=" MB")
+        assert "2.000 MB" in out

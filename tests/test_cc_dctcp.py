@@ -1,0 +1,129 @@
+"""DCTCP control law."""
+
+from repro.cc.dctcp import Dctcp, DctcpConfig
+from repro.cc.flow import Flow
+from repro.net.packet import Packet, PacketKind
+from repro.units import gbps, us
+
+LINE = gbps(10)
+BASE_RTT = us(10)
+
+
+def make():
+    cc = Dctcp(LINE, 30_000, DctcpConfig(base_rtt=BASE_RTT))
+    f = Flow(1, 0, 1, 1_000_000)
+    cc.on_flow_start(f, 0)
+    return cc, f
+
+
+def window_of_acks(cc, f, marks, start_seq=0):
+    """Deliver one RTT's worth of ACKs with the given mark pattern."""
+    f.next_seq = max(f.next_seq, start_seq + len(marks))
+    for i, marked in enumerate(marks):
+        ack = Packet.control(PacketKind.ACK, 1, 0)
+        ack.seq = start_seq + i + 1
+        ack.ecn_marked = marked
+        cc.on_ack(f, ack, us(10))
+
+
+class TestStart:
+    def test_starts_full_window(self):
+        cc, f = make()
+        assert f.cc.window == 30_000
+        assert f.cc.alpha == 0.0
+
+
+class TestMarking:
+    def test_fully_marked_window_shrinks(self):
+        cc, f = make()
+        window_of_acks(cc, f, [True] * 10)
+        assert f.cc.alpha > 0
+        assert f.cc.window < 30_000
+
+    def test_unmarked_window_grows(self):
+        cc, f = make()
+        f.cc.window = 10_000
+        window_of_acks(cc, f, [False] * 10)
+        assert f.cc.window == 10_000 + f.mtu
+
+    def test_alpha_tracks_mark_fraction(self):
+        cc, f = make()
+        window_of_acks(cc, f, [True] * 5 + [False] * 5)
+        # one update with F = 0.5 and g = 1/16
+        assert abs(f.cc.alpha - 0.5 / 16.0) < 1e-9
+
+    def test_heavier_marking_cuts_deeper(self):
+        cc1, f1 = make()
+        for round_ in range(5):
+            window_of_acks(cc1, f1, [True] * 10, start_seq=round_ * 10)
+            f1.cc.window_end_seq = round_ * 10  # force per-round updates
+        cc2, f2 = make()
+        for round_ in range(5):
+            window_of_acks(
+                cc2, f2, [True] + [False] * 9, start_seq=round_ * 10
+            )
+            f2.cc.window_end_seq = round_ * 10
+        assert f1.cc.window < f2.cc.window
+
+    def test_window_floor(self):
+        cc, f = make()
+        for round_ in range(100):
+            f.cc.window_end_seq = round_ * 10
+            window_of_acks(cc, f, [True] * 10, start_seq=round_ * 10)
+        assert f.cc.window >= cc.config.min_window_bytes
+
+    def test_window_capped_at_swnd(self):
+        cc, f = make()
+        for round_ in range(100):
+            f.cc.window_end_seq = round_ * 10
+            window_of_acks(cc, f, [False] * 10, start_seq=round_ * 10)
+        assert f.cc.window <= 30_000
+
+
+class TestTimeout:
+    def test_timeout_halves(self):
+        cc, f = make()
+        cc.on_timeout(f, 0)
+        assert f.cc.window == 15_000
+
+
+class TestEndToEnd:
+    def test_dctcp_scenario_completes(self):
+        from repro.experiments.runner import run_scenario
+        from repro.experiments.scenario import ScenarioConfig
+
+        cfg = ScenarioConfig(
+            cc="dctcp",
+            workload="memcached",
+            n_tors=3,
+            hosts_per_tor=2,
+            duration=100_000,
+        )
+        r = run_scenario(cfg)
+        assert r.completion_rate == 1.0
+
+    def test_dctcp_with_floodgate(self):
+        from repro.experiments.runner import run_scenario
+        from repro.experiments.scenario import ScenarioConfig
+
+        cfg = ScenarioConfig(
+            cc="dctcp",
+            flow_control="floodgate",
+            workload="memcached",
+            n_tors=3,
+            hosts_per_tor=2,
+            duration=100_000,
+        )
+        r = run_scenario(cfg)
+        assert r.completion_rate == 1.0
+        assert r.stats.pfc_pause_events == 0
+
+    def test_dctcp_hosts_do_not_emit_cnp(self):
+        from repro.experiments.scenario import Scenario, ScenarioConfig
+
+        sc = Scenario(
+            ScenarioConfig(
+                cc="dctcp", n_tors=3, hosts_per_tor=2, duration=100_000
+            )
+        )
+        assert all(not h.cnp_enabled for h in sc.topology.hosts)

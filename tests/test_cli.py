@@ -1,0 +1,44 @@
+"""The floodgate-experiment CLI."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestList:
+    def test_list_prints_all(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for key in EXPERIMENTS:
+            assert key in out
+
+    def test_every_experiment_module_imports(self):
+        import importlib
+
+        for module_name, _ in EXPERIMENTS.values():
+            module = importlib.import_module(
+                f"repro.experiments.figures.{module_name}"
+            )
+            assert hasattr(module, "run") or module_name == "fig17_params"
+
+    def test_fig17_has_sweeps(self):
+        from repro.experiments.figures import fig17_params
+
+        assert callable(fig17_params.run_credit_timer)
+        assert callable(fig17_params.run_delay_credit)
+
+
+class TestRun:
+    def test_run_fig07(self, capsys):
+        assert main(["run", "fig07"]) == 0
+        out = capsys.readouterr().out
+        assert "memcached" in out
+        assert "frac_below_1kb" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig99"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

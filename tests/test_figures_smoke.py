@@ -1,0 +1,68 @@
+"""Cheap smoke coverage of the figure modules within the unit suite.
+
+The benchmarks exercise every figure thoroughly; these keep the figure
+modules covered by a plain ``pytest tests/`` run using the smallest
+meaningful parameters.
+"""
+
+from repro.experiments.figures import (
+    fig07_workloads,
+    fig14_scaleup,
+    fig16_ecn,
+    fig17_params,
+    fig18_overhead,
+    sec74_resources,
+)
+
+
+class TestFigureSmoke:
+    def test_fig07(self):
+        result = fig07_workloads.run(samples=2_000)
+        assert set(result["properties"]) == {
+            "memcached",
+            "webserver",
+            "hadoop",
+            "websearch",
+        }
+        for cdf in result["cdf"].values():
+            fractions = [p for _, p in cdf]
+            assert fractions == sorted(fractions)
+            assert fractions[-1] == 1.0
+
+    def test_fig14(self):
+        result = fig14_scaleup.run(quick=True, tor_counts=(3,))
+        assert result["dcqcn"][3]["completion"] == 1.0
+        assert result["dcqcn+floodgate"][3]["completion"] == 1.0
+        assert (
+            result["dcqcn+floodgate"][3]["tor-down_mb"]
+            < result["dcqcn"][3]["tor-down_mb"]
+        )
+
+    def test_fig16(self):
+        result = fig16_ecn.run(
+            quick=True, n_flows=8, ecn_settings=((20_000, 80_000),)
+        )
+        key = next(iter(result))
+        assert set(result[key]) == {
+            "dcqcn",
+            "dcqcn+ideal",
+            "dcqcn+floodgate",
+        }
+        for row in result[key].values():
+            assert len(row["buffer_vs_flows"]) == 8
+
+    def test_fig17_delay_credit(self):
+        result = fig17_params.run_delay_credit(quick=True, multiples=(2,))
+        assert 2 in result
+        assert result[2]["tor-down_mb"] >= 0
+
+    def test_fig18(self):
+        result = fig18_overhead.run(quick=True)
+        for row in result.values():
+            total = row["data_pct"] + row["ctrl_pct"] + row["credit_pct"]
+            assert abs(total - 100.0) < 0.1
+
+    def test_sec74(self):
+        result = sec74_resources.run(quick=True)
+        assert result["n_hosts"] == 16
+        assert result["window_entries_vs_hosts"] <= 1.0

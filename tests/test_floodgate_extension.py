@@ -1,0 +1,199 @@
+"""Floodgate end-to-end behaviour on real topologies."""
+
+import random
+
+from repro.floodgate.config import FloodgateConfig
+from repro.floodgate.extension import FloodgateExtension
+from repro.units import kb, ms, us
+from tests.conftest import MiniNet
+
+
+def with_floodgate(net: MiniNet, **cfg_kwargs) -> list:
+    defaults = dict(credit_timer=us(2), thre_credit_bytes=kb(60))
+    defaults.update(cfg_kwargs)
+    config = FloodgateConfig(**defaults)
+    exts = []
+    for sw in net.topo.switches:
+        ext = FloodgateExtension(net.sim, config)
+        sw.install_extension(ext)
+        exts.append(ext)
+    return exts
+
+
+class TestNonIncast:
+    def test_single_flow_unaffected(self):
+        plain = MiniNet()
+        plain.flow(1, 0, 6, 100_000)
+        plain.run(ms(10))
+        t_plain = plain.topo.flow_table[1].finish_time
+
+        fg = MiniNet()
+        with_floodgate(fg)
+        fg.flow(1, 0, 6, 100_000)
+        fg.run(ms(10))
+        t_fg = fg.topo.flow_table[1].finish_time
+        assert t_fg <= t_plain * 1.05  # no meaningful slowdown
+
+    def test_no_voq_for_uncongested_traffic(self):
+        net = MiniNet()
+        exts = with_floodgate(net)
+        net.flow(1, 0, 6, 50_000)
+        net.flow(2, 1, 7, 50_000)
+        net.run(ms(10))
+        assert all(ext.pool.max_in_use == 0 for ext in exts)
+
+    def test_intra_rack_traffic_bypasses_windows(self):
+        net = MiniNet()
+        exts = with_floodgate(net)
+        net.flow(1, 0, 1, 50_000)  # same ToR: last hop everywhere
+        net.run(ms(10))
+        assert net.topo.flow_table[1].receiver_done
+        left_ext = exts[0]
+        assert not left_ext.windows.window  # no window ever created
+
+
+class TestIncast:
+    def incast_net(self, **cfg):
+        net = MiniNet("leaf-spine")
+        exts = with_floodgate(net, **cfg)
+        flows = [
+            net.flow(i, src, 0, 40_000)
+            for i, src in enumerate((4, 5, 6, 7, 8, 9, 10, 11))
+        ]
+        return net, exts, flows
+
+    def test_incast_identified_with_voqs(self):
+        net, exts, flows = self.incast_net()
+        net.run(ms(20))
+        assert all(f.receiver_done for f in flows)
+        assert max(ext.pool.max_in_use for ext in exts) >= 1
+
+    def test_incast_buffers_spread_upstream(self):
+        plain = MiniNet("leaf-spine")
+        for i, src in enumerate((4, 5, 6, 7, 8, 9, 10, 11)):
+            plain.flow(i, src, 0, 40_000)
+        plain.run(ms(20))
+
+        net, exts, flows = self.incast_net()
+        net.run(ms(20))
+        td_plain = plain.stats.max_port_buffer_by_role("tor-down")
+        td_fg = net.stats.max_port_buffer_by_role("tor-down")
+        assert td_fg < td_plain / 2
+
+    def test_buffers_empty_after_drain(self):
+        net, exts, flows = self.incast_net()
+        net.run(ms(20))
+        assert net.all_buffers_empty()
+        assert all(ext.pool.total_bytes() == 0 for ext in exts)
+
+    def test_windows_fully_restored_after_drain(self):
+        net, exts, flows = self.incast_net()
+        net.run(ms(50))
+        for ext in exts:
+            for dst, win in ext.windows.window.items():
+                assert win == ext.windows.initial[dst]
+
+
+class TestIdealVariant:
+    def test_ideal_completes_incast(self):
+        net = MiniNet("leaf-spine")
+        with_floodgate(net, ideal=True)
+        flows = [
+            net.flow(i, src, 0, 40_000)
+            for i, src in enumerate((4, 5, 6, 7, 8, 9, 10, 11))
+        ]
+        net.run(ms(20))
+        assert all(f.receiver_done for f in flows)
+
+    def test_ideal_window_smaller_than_practical(self):
+        net_p = MiniNet("leaf-spine")
+        exts_p = with_floodgate(net_p, credit_timer=us(10))
+        net_i = MiniNet("leaf-spine")
+        exts_i = with_floodgate(net_i, ideal=True)
+        # ask both ToRs for the same destination's initial window
+        tor_p, tor_i = net_p.topo.switches[1], net_i.topo.switches[1]
+        dst = 0
+        wp = exts_p[1]._initial_window(dst)
+        wi = exts_i[1]._initial_window(dst)
+        assert wi < wp
+
+
+class TestLossRecovery:
+    def test_flows_complete_despite_credit_and_data_loss(self):
+        net = MiniNet("leaf-spine")
+        exts = with_floodgate(net, syn_timeout=us(50))
+        rng = random.Random(3)
+        from repro.net.switch import Switch
+
+        for link in net.topo.links:
+            if isinstance(link.node_a, Switch) and isinstance(
+                link.node_b, Switch
+            ):
+                link.set_loss(0.05, rng)
+        for host in net.topo.hosts:
+            host.rto = us(400)
+        flows = [
+            net.flow(i, src, 0, 40_000)
+            for i, src in enumerate((4, 5, 6, 7, 8, 9, 10, 11))
+        ]
+        net.run(ms(100))
+        assert all(f.receiver_done for f in flows)
+
+    def test_switch_syn_fires_when_credits_vanish(self):
+        net = MiniNet("leaf-spine")
+        exts = with_floodgate(net, syn_timeout=us(30))
+        # drop EVERY switch-to-switch control frame one way by losing
+        # 100% on one spine->tor direction is too brutal; instead lose
+        # 60% so some credits vanish while data mostly flows
+        rng = random.Random(5)
+        from repro.net.switch import Switch
+
+        for link in net.topo.links:
+            if isinstance(link.node_a, Switch) and isinstance(
+                link.node_b, Switch
+            ):
+                link.set_loss(0.4, rng)
+        for host in net.topo.hosts:
+            host.rto = us(500)
+        flows = [
+            net.flow(i, src, 0, 40_000)
+            for i, src in enumerate((4, 5, 6, 7))
+        ]
+        net.run(ms(100))
+        assert sum(ext.syn_sent for ext in exts) > 0
+        assert all(f.receiver_done for f in flows)
+
+
+class TestPerDstPause:
+    def test_sources_paused_and_resumed(self):
+        net = MiniNet("leaf-spine")
+        exts = with_floodgate(
+            net, per_dst_pause=True, thre_off_bytes=10_000, thre_on_bytes=5_000
+        )
+        flows = [
+            net.flow(i, src, 0, 40_000)
+            for i, src in enumerate((4, 5, 6, 7, 8, 9, 10, 11))
+        ]
+        net.run(ms(50))
+        assert sum(ext.dst_pauses_sent for ext in exts) > 0
+        assert all(f.receiver_done for f in flows)
+        # all pauses were lifted by the end
+        assert all(not h.paused_dsts for h in net.topo.hosts)
+
+
+class TestDeadlockFreedom:
+    def test_cross_pod_bidirectional_incast_completes(self):
+        """The Fig. 4 hold-and-wait pattern must not deadlock."""
+        net = MiniNet("leaf-spine")
+        with_floodgate(net, max_voqs=2)  # force VOQ sharing
+        flows = []
+        fid = 0
+        # rack A hosts -> host 4 (rack B); rack B hosts -> host 0
+        for src in (0, 1, 2, 3):
+            flows.append(net.flow(fid, src, 4, 40_000))
+            fid += 1
+        for src in (4, 5, 6, 7):
+            flows.append(net.flow(fid, src, 0, 40_000))
+            fid += 1
+        net.run(ms(100))
+        assert all(f.receiver_done for f in flows)

@@ -1,0 +1,118 @@
+"""WindowTable: per-dst windows with PSN reconciliation."""
+
+from hypothesis import given, strategies as st
+
+from repro.floodgate.window import WindowTable
+
+
+class TestBasics:
+    def test_ensure_installs_initial(self):
+        wt = WindowTable()
+        assert wt.ensure(5, 10) == 10
+        assert wt.initial[5] == 10
+
+    def test_ensure_is_idempotent(self):
+        wt = WindowTable()
+        wt.ensure(5, 10)
+        wt.consume(5)
+        assert wt.ensure(5, 99) == 9  # second initial ignored
+
+    def test_consume_decrements(self):
+        wt = WindowTable()
+        wt.ensure(5, 3)
+        wt.consume(5)
+        wt.consume(5)
+        assert wt.window[5] == 1
+
+    def test_add_credits_caps_at_initial(self):
+        wt = WindowTable()
+        wt.ensure(5, 10)
+        wt.consume(5)
+        wt.add_credits(5, 100)
+        assert wt.window[5] == 10
+
+    def test_add_credits_unknown_dst_ignored(self):
+        wt = WindowTable()
+        wt.add_credits(42, 5)  # must not raise
+        assert 42 not in wt.window
+
+
+class TestPsn:
+    def test_psn_sequence_per_port_dst(self):
+        wt = WindowTable()
+        assert wt.assign_psn(1, 5) == 0
+        assert wt.assign_psn(1, 5) == 1
+        assert wt.assign_psn(2, 5) == 0  # independent per port
+
+    def test_reconcile_restores_window(self):
+        wt = WindowTable()
+        wt.ensure(5, 10)
+        for _ in range(4):
+            wt.consume(5)
+            wt.assign_psn(1, 5)
+        # downstream echoes psn 1: packets 0..1 done, 2..3 in flight
+        wt.reconcile(1, 5, echoed_psn=1, now=100)
+        assert wt.window[5] == 8
+
+    def test_reconcile_heals_lost_credit(self):
+        wt = WindowTable()
+        wt.ensure(5, 10)
+        for _ in range(6):
+            wt.consume(5)
+            wt.assign_psn(1, 5)
+        # credits for psn 0..2 were lost; the psn-3 credit heals all
+        wt.reconcile(1, 5, echoed_psn=3, now=100)
+        assert wt.window[5] == 10 - 2  # only psn 4,5 in flight
+
+    def test_stale_credit_ignored(self):
+        wt = WindowTable()
+        wt.ensure(5, 10)
+        for _ in range(4):
+            wt.consume(5)
+            wt.assign_psn(1, 5)
+        wt.reconcile(1, 5, echoed_psn=3, now=100)
+        full = wt.window[5]
+        wt.reconcile(1, 5, echoed_psn=1, now=200)  # reordered, stale
+        assert wt.window[5] == full
+
+    def test_exhausted_pairs(self):
+        wt = WindowTable()
+        wt.ensure(5, 10)
+        wt.assign_psn(1, 5)
+        assert (1, 5) in wt.exhausted_pairs()
+        wt.reconcile(1, 5, echoed_psn=0, now=50)
+        assert (1, 5) not in wt.exhausted_pairs()
+
+    def test_active_destinations(self):
+        wt = WindowTable()
+        wt.ensure(1, 5)
+        wt.ensure(2, 5)
+        wt.consume(1)
+        assert wt.active_destinations() == 1
+
+
+class TestInvariants:
+    @given(
+        st.lists(
+            st.sampled_from(["send", "credit"]),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    def test_window_never_exceeds_initial(self, ops):
+        wt = WindowTable()
+        initial = 8
+        wt.ensure(7, initial)
+        sent = 0
+        echoed = -1
+        for op in ops:
+            if op == "send" and wt.window[7] >= 1:
+                wt.consume(7)
+                wt.assign_psn(0, 7)
+                sent += 1
+            elif op == "credit" and echoed < sent - 1:
+                echoed += 1
+                wt.reconcile(0, 7, echoed, now=0)
+        assert 0 <= wt.window[7] <= initial
+        # window equals initial minus genuinely-in-flight packets
+        assert wt.window[7] == initial - (sent - (echoed + 1))

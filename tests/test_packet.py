@@ -1,0 +1,51 @@
+"""Packet model."""
+
+from repro.net.packet import ACK_KINDS, CONTROL_KINDS, Packet, PacketKind
+from repro.units import CTRL_PKT_SIZE
+
+
+class TestConstruction:
+    def test_data_packet_defaults(self):
+        pkt = Packet(PacketKind.DATA, 1, 2, 1000, flow_id=7, seq=3)
+        assert pkt.ecn_capable
+        assert not pkt.ecn_marked
+        assert pkt.psn == -1
+        assert pkt.upstream_psn == -1
+
+    def test_control_constructor_size(self):
+        pkt = Packet.control(PacketKind.CREDIT, 10, 20)
+        assert pkt.size == CTRL_PKT_SIZE
+        assert pkt.kind == PacketKind.CREDIT
+
+    def test_ack_not_ecn_capable(self):
+        assert not Packet.control(PacketKind.ACK, 0, 1).ecn_capable
+
+
+class TestClassification:
+    def test_control_kinds_are_control(self):
+        for kind in CONTROL_KINDS:
+            assert Packet.control(kind, 0, 1).is_control()
+
+    def test_ack_kinds_are_ack_like(self):
+        for kind in ACK_KINDS:
+            assert Packet.control(kind, 0, 1).is_ack_like()
+
+    def test_data_is_neither(self):
+        pkt = Packet(PacketKind.DATA, 0, 1, 1000)
+        assert not pkt.is_control()
+        assert not pkt.is_ack_like()
+
+    def test_control_and_ack_sets_disjoint(self):
+        assert not (CONTROL_KINDS & ACK_KINDS)
+
+
+class TestTrim:
+    def test_trim_converts_to_header(self):
+        pkt = Packet(PacketKind.DATA, 0, 1, 1500, flow_id=9, seq=4)
+        pkt.trim()
+        assert pkt.kind == PacketKind.NDP_HEADER
+        assert pkt.size == CTRL_PKT_SIZE
+        assert pkt.trimmed
+        assert not pkt.ecn_capable  # no longer buffer-charged
+        # routing identity survives
+        assert pkt.flow_id == 9 and pkt.seq == 4

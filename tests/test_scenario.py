@@ -1,0 +1,151 @@
+"""Scenario construction and the runner."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenario import Scale, Scenario, ScenarioConfig
+from repro.units import gbps, mb
+
+
+QUICK = dict(n_tors=3, hosts_per_tor=2, duration=100_000)
+
+
+class TestConfigResolution:
+    def test_ci_defaults(self):
+        cfg = ScenarioConfig().resolved()
+        assert cfg.n_tors == 4
+        assert cfg.host_bandwidth == gbps(10)
+        assert cfg.buffer_bytes == 500_000
+        assert cfg.host_link_delay > cfg.link_delay
+
+    def test_paper_defaults(self):
+        cfg = ScenarioConfig(scale=Scale.PAPER).resolved()
+        assert cfg.n_tors == 10
+        assert cfg.hosts_per_tor == 16
+        assert cfg.host_bandwidth == gbps(100)
+        assert cfg.buffer_bytes == mb(20)
+
+    def test_explicit_values_survive(self):
+        cfg = ScenarioConfig(n_tors=7, buffer_bytes=123_000).resolved()
+        assert cfg.n_tors == 7
+        assert cfg.buffer_bytes == 123_000
+
+    def test_unknown_cc_rejected(self):
+        with pytest.raises(ValueError):
+            Scenario(ScenarioConfig(cc="bogus", **QUICK))
+
+    def test_unknown_flow_control_rejected(self):
+        with pytest.raises(ValueError):
+            Scenario(ScenarioConfig(flow_control="bogus", **QUICK))
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ValueError):
+            Scenario(ScenarioConfig(topology="ring", **QUICK))
+
+
+class TestBuild:
+    @pytest.mark.parametrize("cc", ["dcqcn", "dctcp", "timely", "hpcc", "static"])
+    def test_all_ccs_build(self, cc):
+        sc = Scenario(ScenarioConfig(cc=cc, **QUICK))
+        assert sc.cc.name in (cc, f"{cc}-window", "static-window")
+        assert all(h.cc is sc.cc for h in sc.topology.hosts)
+
+    @pytest.mark.parametrize(
+        "fc",
+        ["none", "floodgate", "floodgate-ideal", "bfc", "pfc-tag", "ndp"],
+    )
+    def test_all_flow_controls_build(self, fc):
+        sc = Scenario(ScenarioConfig(flow_control=fc, **QUICK))
+        if fc == "none":
+            assert not sc.extensions
+        else:
+            assert len(sc.extensions) == len(sc.topology.switches)
+
+    def test_hpcc_enables_int(self):
+        sc = Scenario(ScenarioConfig(cc="hpcc", **QUICK))
+        assert all(h.int_enabled for h in sc.topology.hosts)
+        assert all(sw.int_enabled for sw in sc.topology.switches)
+
+    def test_ndp_disables_pfc(self):
+        sc = Scenario(ScenarioConfig(flow_control="ndp", cc="static", **QUICK))
+        assert all(not sw.pfc_enabled for sw in sc.topology.switches)
+
+    def test_rack_of_partition(self):
+        sc = Scenario(ScenarioConfig(**QUICK))
+        rack_of = sc.rack_of()
+        assert len(rack_of) == len(sc.topology.hosts)
+        assert len(set(rack_of.values())) == 3
+
+    def test_incast_senders_exclude_dst_rack(self):
+        sc = Scenario(ScenarioConfig(incast_dst=0, **QUICK))
+        rack_of = sc.rack_of()
+        senders = sc.incast_senders()
+        assert all(rack_of[s] != rack_of[0] for s in senders)
+
+    def test_incast_fan_in_wraps(self):
+        sc = Scenario(ScenarioConfig(incast_dst=0, incast_fan_in=10, **QUICK))
+        senders = sc.incast_senders()
+        assert len(senders) == 10  # only 4 eligible: wrapped
+
+    def test_fat_tree_builds(self):
+        sc = Scenario(
+            ScenarioConfig(
+                topology="fat-tree", fat_tree_k=4, duration=100_000
+            )
+        )
+        assert len(sc.topology.hosts) == 16
+
+    def test_testbed_builds(self):
+        sc = Scenario(ScenarioConfig(topology="testbed", duration=100_000))
+        assert len(sc.topology.hosts) == 6
+
+    def test_traffic_generated_for_incastmix(self):
+        sc = Scenario(ScenarioConfig(**QUICK))
+        assert sc.mix is not None
+        assert sc.flows
+
+    def test_pattern_none_generates_nothing(self):
+        sc = Scenario(ScenarioConfig(pattern="none", **QUICK))
+        assert sc.flows == []
+
+
+class TestRunner:
+    def test_completes_and_reports(self):
+        cfg = ScenarioConfig(workload="memcached", **QUICK)
+        r = run_scenario(cfg)
+        assert r.total_flows > 0
+        assert r.completed_flows == r.total_flows
+        assert r.sim_time > 0
+        assert r.events > 0
+        assert 0 < r.completion_rate <= 1.0
+
+    def test_early_stop_before_hard_end(self):
+        cfg = ScenarioConfig(
+            workload="memcached", max_runtime_factor=100.0, **QUICK
+        )
+        r = run_scenario(cfg)
+        assert r.sim_time < cfg.resolved().duration * 100
+
+    def test_fct_summaries_accessible(self):
+        cfg = ScenarioConfig(workload="memcached", **QUICK)
+        r = run_scenario(cfg)
+        assert r.poisson_fct.count > 0
+        assert r.incast_fct.count > 0
+        assert r.max_switch_buffer_mb > 0
+
+    def test_same_seed_same_result(self):
+        cfg = ScenarioConfig(workload="memcached", seed=9, **QUICK)
+        a = run_scenario(cfg)
+        b = run_scenario(cfg)
+        assert a.poisson_fct.avg_ns == b.poisson_fct.avg_ns
+        assert a.events == b.events
+
+    def test_different_seed_different_traffic(self):
+        base = ScenarioConfig(workload="memcached", **QUICK)
+        a = run_scenario(replace(base, seed=1))
+        b = run_scenario(replace(base, seed=2))
+        assert a.total_flows != b.total_flows or (
+            a.poisson_fct.avg_ns != b.poisson_fct.avg_ns
+        )

@@ -1,0 +1,224 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.engine import Simulator
+from repro.sim.process import PeriodicTask, Timer
+from repro.sim.rng import RngRegistry
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(30, order.append, "c")
+        sim.schedule(10, order.append, "a")
+        sim.schedule(20, order.append, "b")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        sim = Simulator()
+        order = []
+        for tag in ("first", "second", "third"):
+            sim.schedule(5, order.append, tag)
+        sim.run()
+        assert order == ["first", "second", "third"]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(42, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [42]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-1, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(10, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(5, lambda: None)
+
+    def test_zero_delay_runs_after_current_instant_events(self):
+        sim = Simulator()
+        order = []
+
+        def outer():
+            order.append("outer")
+            sim.schedule(0, order.append, "inner")
+
+        sim.schedule(1, outer)
+        sim.schedule(1, order.append, "sibling")
+        sim.run()
+        assert order == ["outer", "sibling", "inner"]
+
+    def test_run_until_stops_clock_exactly(self):
+        sim = Simulator()
+        sim.schedule(100, lambda: None)
+        sim.run(until=50)
+        assert sim.now == 50
+        assert sim.pending_events == 1
+        sim.run(until=200)
+        assert sim.now == 200
+
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        hits = []
+        ev = sim.schedule(10, hits.append, 1)
+        ev.cancel()
+        sim.run()
+        assert hits == []
+
+    def test_stop_halts_mid_run(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1, order.append, "a")
+        sim.schedule(2, lambda: (order.append("b"), sim.stop()))
+        sim.schedule(3, order.append, "c")
+        sim.run()
+        assert order == ["a", "b"]
+        assert sim.pending_events == 1
+
+    def test_events_executed_counter(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(i, lambda: None)
+        sim.run()
+        assert sim.events_executed == 5
+
+    def test_peek_next_time_skips_cancelled(self):
+        sim = Simulator()
+        ev = sim.schedule(5, lambda: None)
+        sim.schedule(9, lambda: None)
+        ev.cancel()
+        assert sim.peek_next_time() == 9
+
+    def test_peek_empty_returns_none(self):
+        assert Simulator().peek_next_time() is None
+
+    @given(st.lists(st.integers(min_value=0, max_value=10_000), max_size=60))
+    def test_execution_order_is_sorted_by_time(self, delays):
+        sim = Simulator()
+        fired = []
+        for d in delays:
+            sim.schedule(d, fired.append, d)
+        sim.run()
+        assert fired == sorted(delays)
+        assert len(fired) == len(delays)
+
+
+class TestTimer:
+    def test_fires_once(self):
+        sim = Simulator()
+        hits = []
+        t = Timer(sim, hits.append, "x")
+        t.start(10)
+        sim.run()
+        assert hits == ["x"]
+
+    def test_restart_supersedes_previous(self):
+        sim = Simulator()
+        hits = []
+        t = Timer(sim, lambda: hits.append(sim.now))
+        t.start(10)
+        sim.schedule(5, t.start, 20)  # re-arm at t=5 for t=25
+        sim.run()
+        assert hits == [25]
+
+    def test_stop_disarms(self):
+        sim = Simulator()
+        hits = []
+        t = Timer(sim, hits.append, 1)
+        t.start(10)
+        t.stop()
+        sim.run()
+        assert hits == []
+        assert not t.armed
+
+    def test_armed_property(self):
+        sim = Simulator()
+        t = Timer(sim, lambda: None)
+        assert not t.armed
+        t.start(5)
+        assert t.armed
+        sim.run()
+        assert not t.armed
+
+
+class TestPeriodicTask:
+    def test_ticks_at_interval(self):
+        sim = Simulator()
+        ticks = []
+        task = PeriodicTask(sim, 10, lambda: ticks.append(sim.now))
+        task.start()
+        sim.run(until=35)
+        task.stop()
+        assert ticks == [10, 20, 30]
+
+    def test_stop_from_callback(self):
+        sim = Simulator()
+        ticks = []
+
+        def tick():
+            ticks.append(sim.now)
+            task.stop()
+
+        task = PeriodicTask(sim, 10, tick)
+        task.start()
+        sim.run(until=100)
+        assert ticks == [10]
+
+    def test_phase_shifts_first_tick(self):
+        sim = Simulator()
+        ticks = []
+        task = PeriodicTask(sim, 10, lambda: ticks.append(sim.now))
+        task.start(phase=3)
+        sim.run(until=25)
+        task.stop()
+        assert ticks == [13, 23]
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            PeriodicTask(Simulator(), 0, lambda: None)
+
+    def test_double_start_is_noop(self):
+        sim = Simulator()
+        ticks = []
+        task = PeriodicTask(sim, 10, lambda: ticks.append(sim.now))
+        task.start()
+        task.start()
+        sim.run(until=15)
+        task.stop()
+        assert ticks == [10]
+
+
+class TestRngRegistry:
+    def test_same_name_same_stream(self):
+        r = RngRegistry(seed=42)
+        a = [r.stream("x").random() for _ in range(3)]
+        r2 = RngRegistry(seed=42)
+        b = [r2.stream("x").random() for _ in range(3)]
+        assert a == b
+
+    def test_different_names_independent(self):
+        r = RngRegistry(seed=42)
+        a = r.stream("a").random()
+        b = r.stream("b").random()
+        assert a != b
+
+    def test_different_seeds_differ(self):
+        assert (
+            RngRegistry(1).stream("x").random()
+            != RngRegistry(2).stream("x").random()
+        )
+
+    def test_fork_is_deterministic(self):
+        a = RngRegistry(5).fork("rep1").stream("w").random()
+        b = RngRegistry(5).fork("rep1").stream("w").random()
+        assert a == b

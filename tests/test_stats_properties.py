@@ -1,0 +1,56 @@
+"""Property tests for the statistics math (cross-checked with numpy)."""
+
+import numpy as np
+from hypothesis import given, strategies as st
+
+from repro.stats.fct import FctRecord, fct_cdf, percentile, summarize_fct
+
+
+records_strategy = st.lists(
+    st.integers(min_value=1, max_value=10**10),
+    min_size=1,
+    max_size=200,
+)
+
+
+class TestPercentileProperties:
+    @given(values=records_strategy)
+    def test_matches_numpy_nearest_rank(self, values):
+        ordered = sorted(float(v) for v in values)
+        for p in (1, 25, 50, 75, 99, 100):
+            ours = percentile(ordered, p)
+            ref = float(
+                np.percentile(
+                    ordered, p, method="inverted_cdf"
+                )
+            )
+            assert ours == ref
+
+    @given(values=records_strategy)
+    def test_monotone_in_p(self, values):
+        ordered = sorted(float(v) for v in values)
+        results = [percentile(ordered, p) for p in (10, 50, 90, 99)]
+        assert results == sorted(results)
+
+
+class TestSummaryProperties:
+    @given(values=records_strategy)
+    def test_summary_consistency(self, values):
+        records = [FctRecord(i, 0, 1, 100, 0, v) for i, v in enumerate(values)]
+        s = summarize_fct(records)
+        assert s.count == len(values)
+        assert min(values) <= s.avg_ns <= max(values)
+        assert s.p50_ns <= s.p99_ns <= s.max_ns
+        assert s.max_ns == max(values)
+        assert abs(s.avg_ns - float(np.mean(values))) < 1e-6 * max(values)
+
+    @given(values=records_strategy)
+    def test_cdf_well_formed(self, values):
+        records = [FctRecord(i, 0, 1, 100, 0, v) for i, v in enumerate(values)]
+        cdf = fct_cdf(records)
+        xs = [x for x, _ in cdf]
+        ys = [y for _, y in cdf]
+        assert xs == sorted(xs)
+        assert ys == sorted(ys)
+        assert ys[-1] == 1.0
+        assert all(0 < y <= 1 for y in ys)

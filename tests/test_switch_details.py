@@ -1,0 +1,80 @@
+"""Switch internals: routing resolution, charging, occupancy tracking."""
+
+import pytest
+
+from repro.net.packet import Packet, PacketKind
+from repro.units import ms
+from tests.conftest import MiniNet
+
+
+class TestRouting:
+    def test_unknown_destination_raises(self, leaf_spine):
+        sw = leaf_spine.topo.switches[0]
+        pkt = Packet(PacketKind.DATA, 0, 9999, 1000)
+        with pytest.raises(KeyError):
+            sw.route(pkt)
+
+    def test_is_last_hop(self, leaf_spine):
+        tor = leaf_spine.topo.switches_of_kind("tor")[0]
+        local = next(iter(tor.connected_hosts))
+        assert tor.is_last_hop_for(local)
+        assert not tor.is_last_hop_for(11)
+
+    def test_finalize_required_before_data(self, leaf_spine):
+        from repro.net.switch import Switch
+        from repro.sim.engine import Simulator
+
+        sw = Switch(Simulator(), 99, "orphan", 1_000_000)
+        pkt = Packet(PacketKind.DATA, 0, 1, 1000)
+        with pytest.raises(RuntimeError):
+            sw.enqueue_data(pkt, 0)
+
+
+class TestCharging:
+    def test_already_charged_skips_admission(self, leaf_spine):
+        tor = leaf_spine.topo.switches_of_kind("tor")[0]
+        pkt = Packet(PacketKind.DATA, 4, 0, 1000)
+        pkt.ingress_port = 0
+        # charge manually (as a VOQ would)
+        assert tor.buffer.admit(pkt.size, 0)
+        used_before = tor.buffer.used
+        tor.enqueue_data(pkt, tor.connected_hosts[0], already_charged=True)
+        # never double-charged; the idle port may already have started
+        # serializing (releasing the charge), so used can only go down
+        assert tor.buffer.used <= used_before
+
+    def test_port_occupancy_roundtrip(self, leaf_spine):
+        net = leaf_spine
+        tor = net.topo.switches_of_kind("tor")[0]
+        out = tor.connected_hosts[0]
+        pkt = Packet(PacketKind.DATA, 4, 0, 1000)
+        pkt.ingress_port = 4  # pretend: from a spine port
+        tor.receive(pkt, 4)
+        # packet is either queued (occupancy 1000) or already passed
+        # to the serializer (occupancy drained synchronously)
+        assert tor.port_occupancy(out) in (0, 1000)
+        net.run(ms(1))
+        assert tor.port_occupancy(out) == 0
+        assert tor.port_max_bytes[out] >= 0
+
+
+class TestControlPlane:
+    def test_unclaimed_control_dropped_silently(self, leaf_spine):
+        sw = leaf_spine.topo.switches[0]
+        credit = Packet.control(PacketKind.CREDIT, 1, sw.node_id)
+        credit.credits = [(0, 1)]
+        sw.receive(credit, 0)  # no extension installed: must not raise
+
+    def test_pfc_pause_resume_roundtrip(self, leaf_spine):
+        sw = leaf_spine.topo.switches[0]
+        sw.receive(Packet.control(PacketKind.PFC_PAUSE, 1, sw.node_id), 0)
+        assert sw.ports[0].paused
+        sw.receive(Packet.control(PacketKind.PFC_RESUME, 1, sw.node_id), 0)
+        assert not sw.ports[0].paused
+
+    def test_report_pause_time_without_stats(self):
+        from repro.net.switch import Switch
+        from repro.sim.engine import Simulator
+
+        sw = Switch(Simulator(), 1, "s", 1_000_000, stats=None)
+        sw.report_pause_time()  # no stats hub: must be a no-op

@@ -1,0 +1,136 @@
+"""Topology builders and routing."""
+
+import pytest
+
+from repro.net.topology import PortRole
+from tests.conftest import MiniNet
+
+
+class TestLeafSpine:
+    def test_counts(self, leaf_spine):
+        topo = leaf_spine.topo
+        assert len(topo.hosts) == 12
+        assert len(topo.switches) == 5  # 2 spines + 3 ToRs
+        assert len(topo.switches_of_kind("tor")) == 3
+        assert len(topo.switches_of_kind("core")) == 2
+
+    def test_every_switch_routes_to_every_host(self, leaf_spine):
+        topo = leaf_spine.topo
+        for sw in topo.switches:
+            for host in topo.hosts:
+                assert host.node_id in sw.routes
+
+    def test_connected_hosts_on_tors(self, leaf_spine):
+        tors = leaf_spine.topo.switches_of_kind("tor")
+        seen = set()
+        for tor in tors:
+            seen |= set(tor.connected_hosts)
+            assert len(tor.connected_hosts) == 4
+        assert seen == {h.node_id for h in leaf_spine.topo.hosts}
+
+    def test_spines_have_no_connected_hosts(self, leaf_spine):
+        for spine in leaf_spine.topo.switches_of_kind("core"):
+            assert not spine.connected_hosts
+
+    def test_port_roles(self, leaf_spine):
+        tor = leaf_spine.topo.switches_of_kind("tor")[0]
+        assert tor.port_roles.count(PortRole.TOR_DOWN) == 4
+        assert tor.port_roles.count(PortRole.TOR_UP) == 2
+        spine = leaf_spine.topo.switches_of_kind("core")[0]
+        assert all(r == PortRole.CORE for r in spine.port_roles)
+
+    def test_ecmp_entries_on_tors(self, leaf_spine):
+        tor = leaf_spine.topo.switches_of_kind("tor")[0]
+        remote = next(
+            h.node_id
+            for h in leaf_spine.topo.hosts
+            if h.node_id not in tor.connected_hosts
+        )
+        entry = tor.routes[remote]
+        assert isinstance(entry, tuple) and len(entry) == 2  # both spines
+
+    def test_route_for_dst_deterministic(self, leaf_spine):
+        tor = leaf_spine.topo.switches_of_kind("tor")[0]
+        remote = next(
+            h.node_id
+            for h in leaf_spine.topo.hosts
+            if h.node_id not in tor.connected_hosts
+        )
+        assert tor.route_for_dst(remote) == tor.route_for_dst(remote)
+
+    def test_base_rtt_positive(self, leaf_spine):
+        assert leaf_spine.topo.base_rtt > 0
+
+    def test_levels(self, leaf_spine):
+        assert all(s.level == 0 for s in leaf_spine.topo.switches_of_kind("tor"))
+        assert all(
+            s.level == 1 for s in leaf_spine.topo.switches_of_kind("core")
+        )
+
+
+class TestFatTree:
+    @pytest.fixture
+    def fat_tree(self):
+        from repro.net.host import Host
+        from repro.net.switch import Switch
+        from repro.net.topology import build_fat_tree
+        from repro.sim.engine import Simulator
+        from repro.units import gbps, mb
+
+        sim = Simulator()
+        flow_table = {}
+
+        def host_factory(sim, nid, name):
+            return Host(sim, nid, name, None, flow_table)
+
+        def switch_factory(sim, nid, name, kind, level):
+            sw = Switch(sim, nid, name, mb(1), kind=kind)
+            sw.level = level
+            return sw
+
+        return build_fat_tree(
+            sim, host_factory, switch_factory, k=4, hosts_per_edge=2
+        )
+
+    def test_k4_counts(self, fat_tree):
+        # k=4: 4 pods x (2 edge + 2 agg) + 4 cores; 2 hosts x 8 edges
+        assert len(fat_tree.hosts) == 16
+        kinds = [s.kind for s in fat_tree.switches]
+        assert kinds.count("tor") == 8
+        assert kinds.count("agg") == 8
+        assert kinds.count("core") == 4
+
+    def test_all_pairs_reachable(self, fat_tree):
+        for sw in fat_tree.switches:
+            for host in fat_tree.hosts:
+                assert host.node_id in sw.routes
+
+    def test_odd_k_rejected(self):
+        from repro.net.topology import build_fat_tree
+
+        with pytest.raises(ValueError):
+            build_fat_tree(None, None, None, k=3)
+
+    def test_levels_increase_toward_core(self, fat_tree):
+        by_kind = {s.kind: s.level for s in fat_tree.switches}
+        assert by_kind["tor"] < by_kind["agg"] < by_kind["core"]
+
+
+class TestDumbbell:
+    def test_structure(self, mini):
+        assert len(mini.topo.hosts) == 8
+        assert len(mini.topo.switches) == 2
+
+    def test_cross_rack_route_uses_trunk(self, mini):
+        left = mini.topo.switches[0]
+        assert left.route_for_dst(6) == 4  # port 4 = trunk (after hosts)
+
+    def test_local_route_direct(self, mini):
+        left = mini.topo.switches[0]
+        assert left.route_for_dst(1) == left.connected_hosts[1]
+
+
+class TestFlowRegistration:
+    def test_make_flow_registers(self, mini):
+        f = mini.topo.make_flow(5, 0, 4, 1000, 0)
+        assert mini.topo.flow_table[5] is f

@@ -1,0 +1,84 @@
+"""Packet tracing."""
+
+from repro.net.trace import PacketTracer
+from repro.units import ms
+from tests.conftest import MiniNet
+
+
+def traced_net(**tracer_kwargs):
+    net = MiniNet("leaf-spine")
+    tracer = PacketTracer(**tracer_kwargs)
+    tracer.attach(net.topo)
+    return net, tracer
+
+
+class TestRecording:
+    def test_events_recorded_for_flow(self):
+        net, tracer = traced_net(flow_ids=[1])
+        net.flow(1, 4, 0, 5_000)
+        net.run(ms(5))
+        assert tracer.of_flow(1)
+        assert all(e.flow_id == 1 for e in tracer.events)
+
+    def test_flow_filter_excludes_others(self):
+        net, tracer = traced_net(flow_ids=[1])
+        net.flow(1, 4, 0, 5_000)
+        net.flow(2, 5, 1, 5_000)
+        net.run(ms(5))
+        assert not tracer.of_flow(2)
+
+    def test_kind_filter(self):
+        net, tracer = traced_net(kinds=["ACK"])
+        net.flow(1, 4, 0, 5_000)
+        net.run(ms(5))
+        assert tracer.events
+        assert all(e.kind == "ACK" for e in tracer.events)
+
+    def test_event_cap_respected(self):
+        net, tracer = traced_net(max_events=10)
+        net.flow(1, 4, 0, 50_000)
+        net.run(ms(5))
+        assert len(tracer.events) == 10
+        assert tracer.dropped_events > 0
+
+
+class TestPathReconstruction:
+    def test_hops_follow_topology(self):
+        net, tracer = traced_net(flow_ids=[1], kinds=["DATA"])
+        net.flow(1, 4, 0, 3_000)  # host 4 (rack 1) -> host 0 (rack 0)
+        net.run(ms(5))
+        hops = tracer.hops_of(1, 0)
+        # ToR of rack 1, a spine, ToR of rack 0, destination host
+        assert hops[0] == "tor1"
+        assert hops[1].startswith("spine")
+        assert hops[2] == "tor0"
+        assert hops[-1] == "h0"
+
+    def test_path_times_monotone(self):
+        net, tracer = traced_net(flow_ids=[1], kinds=["DATA"])
+        net.flow(1, 4, 0, 3_000)
+        net.run(ms(5))
+        times = [t for t, _, _ in tracer.path_of(1, 0)]
+        assert times == sorted(times)
+        assert len(times) >= 6  # rx+tx at 3 switches
+
+    def test_queueing_delay_nonnegative(self):
+        net, tracer = traced_net(flow_ids=[1], kinds=["DATA"])
+        net.flow(1, 4, 0, 20_000)
+        net.run(ms(5))
+        d = tracer.queueing_delay(1, 5, "tor1")
+        assert d is not None and d >= 0
+
+    def test_queueing_delay_missing_packet(self):
+        net, tracer = traced_net(flow_ids=[1])
+        net.flow(1, 4, 0, 3_000)
+        net.run(ms(5))
+        assert tracer.queueing_delay(1, 999, "tor1") is None
+
+    def test_dump_renders(self):
+        net, tracer = traced_net(flow_ids=[1])
+        net.flow(1, 4, 0, 3_000)
+        net.run(ms(5))
+        text = tracer.dump(limit=5)
+        assert "flow=1" in text
+        assert "more events" in text
