@@ -223,6 +223,8 @@ class NdpHost(Host):
                             self.sim.now,
                         )
                     )
+                if self.on_flow_done is not None:
+                    self.on_flow_done(flow)
         ack = Packet.control(PacketKind.ACK, self.node_id, flow.src)
         ack.flow_id = flow.flow_id
         ack.seq = pkt.seq

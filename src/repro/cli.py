@@ -5,6 +5,7 @@ Usage::
     floodgate-experiment list
     floodgate-experiment run fig10 [--full]
     floodgate-experiment run tab02
+    floodgate-experiment bench [--repeats 3] [--out BENCH_engine.json]
 """
 
 from __future__ import annotations
@@ -65,11 +66,40 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="full CI-scale parameters instead of the quick bench scale",
     )
+    bench_p = sub.add_parser(
+        "bench", help="run the engine perf benchmark, write BENCH_engine.json"
+    )
+    bench_p.add_argument(
+        "--repeats",
+        type=int,
+        default=1,
+        help="timed repetitions; the fastest is reported (default 1)",
+    )
+    bench_p.add_argument(
+        "--out",
+        default=None,
+        help="output JSON path (default BENCH_engine.json, or $REPRO_BENCH_OUT)",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "list":
         for key, (_, desc) in EXPERIMENTS.items():
             print(f"{key:7s} {desc}")
+        return 0
+
+    if args.command == "bench":
+        from repro.experiments.bench import run_and_write
+
+        if args.repeats < 1:
+            parser.error(f"--repeats must be >= 1, got {args.repeats}")
+        print("Running engine benchmark ...", file=sys.stderr)
+        result = run_and_write(repeats=args.repeats, path=args.out)
+        _print_result(result)
+        print(
+            f"{result['events_per_sec']:,} events/sec "
+            f"-> {result['output_file']}",
+            file=sys.stderr,
+        )
         return 0
 
     module_name, desc = EXPERIMENTS[args.experiment]

@@ -8,5 +8,21 @@ reports.  Benchmarks under ``benchmarks/`` call those modules.
 
 from repro.experiments.scenario import Scale, Scenario, ScenarioConfig
 from repro.experiments.runner import ScenarioResult, run_scenario
+from repro.experiments.parallel import (
+    ResultSummary,
+    SweepTask,
+    run_sweep,
+    summarize,
+)
 
-__all__ = ["Scale", "Scenario", "ScenarioConfig", "ScenarioResult", "run_scenario"]
+__all__ = [
+    "Scale",
+    "Scenario",
+    "ScenarioConfig",
+    "ScenarioResult",
+    "ResultSummary",
+    "SweepTask",
+    "run_scenario",
+    "run_sweep",
+    "summarize",
+]

@@ -3,9 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, Iterable, List, Optional, Sequence
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
-from repro.experiments.runner import ScenarioResult, run_scenario
+from repro.experiments.parallel import ResultSummary, SweepTask, run_sweep
 from repro.experiments.scenario import ScenarioConfig
 
 #: the three protocol variants most figures compare
@@ -58,14 +59,22 @@ def incastmix_base(
 def run_variants(
     base: ScenarioConfig,
     variants: Optional[Dict[str, str]] = None,
+    max_workers: Optional[int] = None,
+    cache: Union[bool, str, Path, None] = None,
     **overrides,
-) -> Dict[str, ScenarioResult]:
-    """Run the same scenario under several flow-control variants."""
-    out: Dict[str, ScenarioResult] = {}
-    for label, fc in (variants or VARIANTS).items():
-        cfg = replace(base, flow_control=fc, **overrides)
-        out[label] = run_scenario(cfg)
-    return out
+) -> Dict[str, ResultSummary]:
+    """Run the same scenario under several flow-control variants.
+
+    The variants fan out over the parallel sweep runner (one process
+    per variant, results cached on disk when ``REPRO_CACHE_DIR`` or
+    ``cache=`` is set) and come back as slim
+    :class:`~repro.experiments.parallel.ResultSummary` objects.
+    """
+    tasks = [
+        SweepTask(key=label, config=replace(base, flow_control=fc, **overrides))
+        for label, fc in (variants or VARIANTS).items()
+    ]
+    return run_sweep(tasks, max_workers=max_workers, cache=cache)
 
 
 def format_table(
@@ -86,7 +95,7 @@ def format_table(
     return "\n".join(lines)
 
 
-def fct_row(result: ScenarioResult) -> List[float]:
+def fct_row(result: ResultSummary) -> List[float]:
     """[avg_us, p99_us] of the Poisson (non-incast) flows."""
     s = result.poisson_fct
     return [round(s.avg_us, 1), round(s.p99_us, 1)]

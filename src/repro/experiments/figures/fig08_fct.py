@@ -9,9 +9,11 @@ Hadoop/Web Search (large flows dominate the mean).
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Dict, Iterable
 
-from repro.experiments.figures.common import incastmix_base, run_variants
+from repro.experiments.figures.common import VARIANTS, incastmix_base
+from repro.experiments.parallel import SweepTask, run_sweep
 
 
 def run(
@@ -19,19 +21,28 @@ def run(
     ccs: Iterable[str] = ("dcqcn",),
     workloads: Iterable[str] = ("memcached", "webserver"),
 ) -> Dict:
-    """Returns {cc: {workload: {variant: {avg_us, p99_us}}}}."""
-    out: Dict = {}
+    """Returns {cc: {workload: {variant: {avg_us, p99_us}}}}.
+
+    The whole {cc} x {workload} x {variant} grid fans out through the
+    parallel sweep runner in one shot.
+    """
+    tasks = []
     for cc in ccs:
-        out[cc] = {}
         for workload in workloads:
             base = incastmix_base(quick, workload, cc=cc)
-            results = run_variants(base)
-            out[cc][workload] = {
-                label: {
-                    "avg_us": r.poisson_fct.avg_us,
-                    "p99_us": r.poisson_fct.p99_us,
-                    "pfc_events": r.stats.pfc_pause_events,
-                }
-                for label, r in results.items()
-            }
+            for label, fc in VARIANTS.items():
+                tasks.append(
+                    SweepTask(
+                        key=(cc, workload, label),
+                        config=replace(base, flow_control=fc),
+                    )
+                )
+    results = run_sweep(tasks)
+    out: Dict = {}
+    for (cc, workload, label), r in results.items():
+        out.setdefault(cc, {}).setdefault(workload, {})[label] = {
+            "avg_us": r.poisson_fct.avg_us,
+            "p99_us": r.poisson_fct.p99_us,
+            "pfc_events": r.stats.pfc_pause_events,
+        }
     return out

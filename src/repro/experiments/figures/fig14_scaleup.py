@@ -9,12 +9,24 @@ bounded as more ToRs contribute).
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import Dict, Iterable
 
-from repro.experiments.runner import run_scenario
+from repro.experiments.parallel import SweepTask, run_sweep
+from repro.experiments.runner import ScenarioResult, run_scenario
 from repro.experiments.scenario import Scenario, ScenarioConfig
 from repro.workloads.incast import all_to_one_incast
+
+
+def _run_scaleup(cfg: ScenarioConfig) -> ScenarioResult:
+    """Worker task: build the all-to-one burst around ``cfg`` and run."""
+    sc = Scenario(cfg)
+    rng = sc.rng.stream("scaleup")
+    hosts = [h.node_id for h in sc.topology.hosts]
+    spec = all_to_one_incast(hosts[4:], dst=0, rng=rng)
+    for f in spec.flows:
+        sc.stats.register_incast_flow(f.flow_id)
+    sc.flows = spec.flows
+    return run_scenario(cfg, scenario=sc)
 
 
 def run(
@@ -22,32 +34,32 @@ def run(
     tor_counts: Iterable[int] = (),
 ) -> Dict:
     tor_counts = tuple(tor_counts) or ((3, 6) if quick else (4, 8, 12, 16))
-    out: Dict = {}
-    for label, fc in (("dcqcn", "none"), ("dcqcn+floodgate", "floodgate")):
-        out[label] = {}
-        for n_tors in tor_counts:
-            cfg = ScenarioConfig(
+    variants = (("dcqcn", "none"), ("dcqcn+floodgate", "floodgate"))
+    tasks = [
+        SweepTask(
+            key=(label, n_tors),
+            config=ScenarioConfig(
                 pattern="none",
                 flow_control=fc,
                 n_tors=n_tors,
                 hosts_per_tor=4,
                 duration=200_000,
                 max_runtime_factor=40.0,
-            )
-            sc = Scenario(cfg)
-            rng = sc.rng.stream("scaleup")
-            hosts = [h.node_id for h in sc.topology.hosts]
-            spec = all_to_one_incast(hosts[4:], dst=0, rng=rng)
-            for f in spec.flows:
-                sc.stats.register_incast_flow(f.flow_id)
-            sc.flows = spec.flows
-            r = run_scenario(cfg, scenario=sc)
-            out[label][n_tors] = {
-                "tor-up_mb": r.max_port_buffer_mb("tor-up"),
-                "core_mb": r.max_port_buffer_mb("core"),
-                "tor-down_mb": r.max_port_buffer_mb("tor-down"),
-                "n_flows": r.total_flows,
-                "pfc_events": r.stats.pfc_pause_events,
-                "completion": r.completion_rate,
-            }
+            ),
+            fn=_run_scaleup,
+        )
+        for label, fc in variants
+        for n_tors in tor_counts
+    ]
+    results = run_sweep(tasks)
+    out: Dict = {}
+    for (label, n_tors), r in results.items():
+        out.setdefault(label, {})[n_tors] = {
+            "tor-up_mb": r.max_port_buffer_mb("tor-up"),
+            "core_mb": r.max_port_buffer_mb("core"),
+            "tor-down_mb": r.max_port_buffer_mb("tor-down"),
+            "n_flows": r.total_flows,
+            "pfc_events": r.stats.pfc_pause_events,
+            "completion": r.completion_rate,
+        }
     return out

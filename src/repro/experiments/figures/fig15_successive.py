@@ -12,9 +12,25 @@ from __future__ import annotations
 
 from typing import Dict, Iterable
 
-from repro.experiments.runner import run_scenario
+from repro.experiments.parallel import SweepTask, run_sweep
+from repro.experiments.runner import ScenarioResult, run_scenario
 from repro.experiments.scenario import Scenario, ScenarioConfig
 from repro.workloads.incast import successive_incast
+
+
+def _run_successive(cfg: ScenarioConfig, rounds: int) -> ScenarioResult:
+    """Worker task: back-to-back bursts at rotating destinations."""
+    sc = Scenario(cfg)
+    rng = sc.rng.stream("successive")
+    hosts = [h.node_id for h in sc.topology.hosts]
+    # destinations rotate across racks; bursts arrive back to back
+    # (every 20 us) so backlogs stack
+    dsts = [hosts[i % len(hosts)] for i in range(rounds)]
+    spec = successive_incast(hosts, dsts, interval=20_000, rng=rng)
+    for f in spec.flows:
+        sc.stats.register_incast_flow(f.flow_id)
+    sc.flows = spec.flows
+    return run_scenario(cfg, scenario=sc)
 
 
 def run(
@@ -27,11 +43,10 @@ def run(
         ("dcqcn+floodgate", "floodgate", False),
         ("dcqcn+floodgate(per-dst pause)", "floodgate", True),
     )
-    out: Dict = {}
-    for label, fc, pause in variants:
-        out[label] = {}
-        for rounds in round_counts:
-            cfg = ScenarioConfig(
+    tasks = [
+        SweepTask(
+            key=(label, rounds),
+            config=ScenarioConfig(
                 pattern="none",
                 flow_control=fc,
                 per_dst_pause=pause,
@@ -45,23 +60,21 @@ def run(
                 # flows whole-window "blasts" despite the smaller BDP
                 host_link_delay=1_000,
                 swnd_bdp=4.0,
-            )
-            sc = Scenario(cfg)
-            rng = sc.rng.stream("successive")
-            hosts = [h.node_id for h in sc.topology.hosts]
-            # destinations rotate across racks; bursts arrive back to
-            # back (every 20 us) so backlogs stack
-            dsts = [hosts[i % len(hosts)] for i in range(rounds)]
-            spec = successive_incast(hosts, dsts, interval=20_000, rng=rng)
-            for f in spec.flows:
-                sc.stats.register_incast_flow(f.flow_id)
-            sc.flows = spec.flows
-            r = run_scenario(cfg, scenario=sc)
-            out[label][rounds] = {
-                "tor-up_mb": r.max_port_buffer_mb("tor-up"),
-                "core_mb": r.max_port_buffer_mb("core"),
-                "tor-down_mb": r.max_port_buffer_mb("tor-down"),
-                "pfc_events": r.stats.pfc_pause_events,
-                "completion": r.completion_rate,
-            }
+            ),
+            fn=_run_successive,
+            args=(rounds,),
+        )
+        for label, fc, pause in variants
+        for rounds in round_counts
+    ]
+    results = run_sweep(tasks)
+    out: Dict = {}
+    for (label, rounds), r in results.items():
+        out.setdefault(label, {})[rounds] = {
+            "tor-up_mb": r.max_port_buffer_mb("tor-up"),
+            "core_mb": r.max_port_buffer_mb("core"),
+            "tor-down_mb": r.max_port_buffer_mb("tor-down"),
+            "pfc_events": r.stats.pfc_pause_events,
+            "completion": r.completion_rate,
+        }
     return out

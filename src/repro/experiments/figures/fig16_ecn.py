@@ -15,11 +15,47 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Tuple
 
+from repro.experiments.parallel import ResultSummary, SweepTask, run_sweep, summarize
 from repro.experiments.runner import run_scenario
 from repro.experiments.scenario import Scenario, ScenarioConfig
 from repro.stats.timeseries import BufferSampler
 from repro.units import us
 from repro.workloads.poisson import FlowSpec
+
+
+def _run_convergence(
+    cfg: ScenarioConfig, n_flows: int, interval: int
+) -> ResultSummary:
+    """Worker task: periodic arrivals plus a destination-port sampler.
+
+    The sampled buffer series rides back in ``ResultSummary.extras``
+    (the sampler itself stays in the worker process).
+    """
+    sc = Scenario(cfg)
+    hosts = [h.node_id for h in sc.topology.hosts]
+    dst = hosts[0]
+    flows = []
+    for i in range(n_flows):
+        src = hosts[1 + (i % (len(hosts) - 1))]
+        # long-lived flows: keep transmitting past the horizon
+        flows.append(FlowSpec(i, src, dst, size=400_000, start_time=i * interval))
+    sc.flows = flows
+    tor0 = sc.topology.switches_of_kind("tor")[0]
+    dst_port = tor0.connected_hosts[dst]
+    sampler = BufferSampler(
+        sc.sim,
+        {"tor-down": lambda t=tor0, p=dst_port: t.port_occupancy(p)},
+        interval=us(10),
+    )
+    sampler.start()
+    result = run_scenario(cfg, scenario=sc)
+    sampler.stop()
+    # buffer level observed just before each flow arrival
+    series = [
+        (i, sampler.value_at("tor-down", (i + 1) * interval))
+        for i in range(n_flows)
+    ]
+    return summarize(result, extras={"series": series})
 
 
 def run(
@@ -30,16 +66,15 @@ def run(
     n_flows = n_flows or (24 if quick else 80)
     ecn_settings = tuple(ecn_settings) or ((20_000, 80_000), (20_000, 20_000))
     interval = 40_000  # ns between flow arrivals: room to converge
-    out: Dict = {}
-    for kmin, kmax in ecn_settings:
-        key = f"kmin={kmin//1000}KB,kmax={kmax//1000}KB"
-        out[key] = {}
-        for label, fc in (
-            ("dcqcn", "none"),
-            ("dcqcn+ideal", "floodgate-ideal"),
-            ("dcqcn+floodgate", "floodgate"),
-        ):
-            cfg = ScenarioConfig(
+    variants = (
+        ("dcqcn", "none"),
+        ("dcqcn+ideal", "floodgate-ideal"),
+        ("dcqcn+floodgate", "floodgate"),
+    )
+    tasks = [
+        SweepTask(
+            key=(kmin, kmax, label),
+            config=ScenarioConfig(
                 pattern="none",
                 flow_control=fc,
                 ecn_kmin=kmin,
@@ -48,37 +83,21 @@ def run(
                 hosts_per_tor=4,
                 duration=n_flows * interval,
                 max_runtime_factor=30.0,
-            )
-            sc = Scenario(cfg)
-            hosts = [h.node_id for h in sc.topology.hosts]
-            dst = hosts[0]
-            rng = sc.rng.stream("fig16")
-            flows = []
-            for i in range(n_flows):
-                src = hosts[1 + (i % (len(hosts) - 1))]
-                # long-lived flows: keep transmitting past the horizon
-                flows.append(
-                    FlowSpec(i, src, dst, size=400_000, start_time=i * interval)
-                )
-            sc.flows = flows
-            tor0 = sc.topology.switches_of_kind("tor")[0]
-            dst_port = tor0.connected_hosts[dst]
-            sampler = BufferSampler(
-                sc.sim,
-                {"tor-down": lambda t=tor0, p=dst_port: t.port_occupancy(p)},
-                interval=us(10),
-            )
-            sampler.start()
-            run_scenario(cfg, scenario=sc)
-            sampler.stop()
-            # buffer level observed just before each flow arrival
-            series = [
-                (i, sampler.value_at("tor-down", (i + 1) * interval))
-                for i in range(n_flows)
-            ]
-            out[key][label] = {
-                "buffer_vs_flows": series,
-                "final_kb": series[-1][1] / 1000 if series else 0,
-                "mid_kb": series[n_flows // 2][1] / 1000 if series else 0,
-            }
+            ),
+            fn=_run_convergence,
+            args=(n_flows, interval),
+        )
+        for kmin, kmax in ecn_settings
+        for label, fc in variants
+    ]
+    results = run_sweep(tasks)
+    out: Dict = {}
+    for (kmin, kmax, label), r in results.items():
+        key = f"kmin={kmin//1000}KB,kmax={kmax//1000}KB"
+        series = r.extras["series"]
+        out.setdefault(key, {})[label] = {
+            "buffer_vs_flows": series,
+            "final_kb": series[-1][1] / 1000 if series else 0,
+            "mid_kb": series[n_flows // 2][1] / 1000 if series else 0,
+        }
     return out

@@ -9,13 +9,35 @@
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import Dict, Iterable
 
-from repro.experiments.runner import run_scenario
+from repro.experiments.parallel import SweepTask, run_sweep
 from repro.experiments.scenario import ScenarioConfig
 from repro.floodgate.config import FloodgateConfig
 from repro.units import us
+
+
+def _credit_timer_config(quick: bool, t: float) -> ScenarioConfig:
+    return ScenarioConfig(
+        workload="webserver",
+        flow_control="floodgate",
+        floodgate=FloodgateConfig(credit_timer=us(t)),
+        duration=300_000 if quick else 1_000_000,
+        n_tors=3 if quick else 0,
+        hosts_per_tor=4 if quick else 0,
+        track_bandwidth=True,
+    )
+
+
+def _delay_credit_config(quick: bool, m: float) -> ScenarioConfig:
+    return ScenarioConfig(
+        workload="webserver",
+        flow_control="floodgate",
+        delay_credit_bdp=m,
+        duration=300_000 if quick else 1_000_000,
+        n_tors=3 if quick else 0,
+        hosts_per_tor=4 if quick else 0,
+    )
 
 
 def run_credit_timer(
@@ -23,19 +45,12 @@ def run_credit_timer(
     timers_us: Iterable[float] = (),
 ) -> Dict:
     timers_us = tuple(timers_us) or ((1, 2, 8) if quick else (1, 2, 5, 10, 20))
-    duration = 300_000 if quick else 1_000_000
+    results = run_sweep(
+        SweepTask(key=t, config=_credit_timer_config(quick, t))
+        for t in timers_us
+    )
     out: Dict = {}
-    for t in timers_us:
-        cfg = ScenarioConfig(
-            workload="webserver",
-            flow_control="floodgate",
-            floodgate=FloodgateConfig(credit_timer=us(t)),
-            duration=duration,
-            n_tors=3 if quick else 0,
-            hosts_per_tor=4 if quick else 0,
-            track_bandwidth=True,
-        )
-        r = run_scenario(cfg)
+    for t, r in results.items():
         total_tx = sum(r.stats.tx_bytes_by_category.values()) or 1
         s = r.poisson_fct
         out[t] = {
@@ -56,24 +71,18 @@ def run_delay_credit(
     multiples: Iterable[float] = (),
 ) -> Dict:
     multiples = tuple(multiples) or ((1, 2, 10) if quick else (1, 2, 5, 10, 25, 50))
-    duration = 300_000 if quick else 1_000_000
-    out: Dict = {}
-    for m in multiples:
-        cfg = ScenarioConfig(
-            workload="webserver",
-            flow_control="floodgate",
-            delay_credit_bdp=m,
-            duration=duration,
-            n_tors=3 if quick else 0,
-            hosts_per_tor=4 if quick else 0,
-        )
-        r = run_scenario(cfg)
-        out[m] = {
+    results = run_sweep(
+        SweepTask(key=m, config=_delay_credit_config(quick, m))
+        for m in multiples
+    )
+    return {
+        m: {
             "tor-up_mb": r.max_port_buffer_mb("tor-up"),
             "core_mb": r.max_port_buffer_mb("core"),
             "tor-down_mb": r.max_port_buffer_mb("tor-down"),
         }
-    return out
+        for m, r in results.items()
+    }
 
 
 def run(quick: bool = True) -> Dict:

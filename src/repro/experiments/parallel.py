@@ -1,0 +1,359 @@
+"""Parallel scenario sweeps with on-disk result caching.
+
+Figures that compare variants or sweep a parameter run 3-15 independent
+simulations.  This module fans those runs out over a
+``ProcessPoolExecutor`` and memoizes finished runs on disk:
+
+* each run is described by a picklable :class:`SweepTask` — a
+  :class:`ScenarioConfig` plus an optional module-level task function
+  for figures that build custom traffic around the config;
+* the worker extracts a slim, picklable :class:`ResultSummary` (FCT
+  summaries and records, buffer maxima, PFC accounting, VOQ usage,
+  event/wall counters) so the unpicklable ``Scenario``/``Simulator``
+  never crosses the process boundary;
+* completed runs are cached in ``REPRO_CACHE_DIR`` (or an explicit
+  ``cache=`` directory) keyed by a stable hash of the config, the task
+  function, and its arguments — a warm sweep costs one pickle load per
+  variant.
+
+Determinism: a sweep produces byte-identical summaries whether it runs
+serially, through the pool, or from a warm cache (``tasks`` map to
+results by key, and each worker runs the same seeded simulation the
+serial path would).
+
+Environment knobs::
+
+    REPRO_PARALLEL=0      force serial in-process execution
+    REPRO_CACHE_DIR=path  enable the disk cache at ``path``
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import io
+import json
+import multiprocessing
+import os
+import pickle
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.experiments.runner import ScenarioResult, run_scenario
+from repro.experiments.scenario import ScenarioConfig
+from repro.stats.collector import FlowClass, StatsHub
+from repro.stats.fct import FctSummary, summarize_fct
+
+#: bump when ResultSummary's layout or the simulation's semantics
+#: change in a way that invalidates previously cached runs
+CACHE_SCHEMA_VERSION = 1
+
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+ENV_PARALLEL = "REPRO_PARALLEL"
+
+
+# ---------------------------------------------------------------------------
+# slim result object
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ResultSummary:
+    """Everything a figure needs from one run, in picklable form.
+
+    Mirrors :class:`~repro.experiments.runner.ScenarioResult` minus the
+    live ``scenario`` object: the :class:`StatsHub` is plain dicts and
+    lists, so it crosses process boundaries and survives pickling to
+    the disk cache unchanged.
+    """
+
+    config: ScenarioConfig
+    stats: StatsHub
+    completed_flows: int = 0
+    total_flows: int = 0
+    sim_time: int = 0
+    events: int = 0
+    #: max VOQs in use across extensions (extracted in the worker,
+    #: because the extensions themselves stay behind)
+    max_voqs_used: int = 0
+    #: figure-specific picklable payload (e.g. a sampled time series)
+    extras: Dict[str, Any] = field(default_factory=dict)
+    #: wall time of the producing run; excluded from equality so
+    #: serial / pooled / cached runs of the same seed compare equal
+    wall_seconds: float = field(default=0.0, compare=False)
+    #: True when this summary came from the disk cache
+    from_cache: bool = field(default=False, compare=False)
+
+    # -- FCT ---------------------------------------------------------------------
+
+    @property
+    def poisson_fct(self) -> FctSummary:
+        """Avg/p99 over all non-incast flows (the paper's Fig. 8 metric)."""
+        return summarize_fct(self.stats.fct_of_class(None))
+
+    @property
+    def incast_fct(self) -> FctSummary:
+        return summarize_fct(self.stats.fct_of_class(FlowClass.INCAST))
+
+    def fct_summary(self, cls: Optional[FlowClass]) -> FctSummary:
+        return summarize_fct(self.stats.fct_of_class(cls))
+
+    # -- buffers ------------------------------------------------------------------
+
+    @property
+    def max_switch_buffer_mb(self) -> float:
+        return self.stats.max_switch_buffer / 1e6
+
+    def max_port_buffer_mb(self, role: str) -> float:
+        return self.stats.max_port_buffer_by_role(role) / 1e6
+
+    def per_hop_buffers_mb(self, roles: List[str]) -> Dict[str, float]:
+        return {r: self.max_port_buffer_mb(r) for r in roles}
+
+    # -- PFC ----------------------------------------------------------------------
+
+    def pfc_paused_us(self, node_kind: str) -> float:
+        return self.stats.total_pfc_paused_us(node_kind)
+
+    @property
+    def pfc_triggered(self) -> bool:
+        return self.stats.pfc_pause_events > 0
+
+    @property
+    def pfc_pause_events(self) -> int:
+        return self.stats.pfc_pause_events
+
+    # -- completion ---------------------------------------------------------------
+
+    @property
+    def completion_rate(self) -> float:
+        if self.total_flows == 0:
+            return 1.0
+        return self.completed_flows / self.total_flows
+
+    # -- identity -----------------------------------------------------------------
+
+    def canonical_bytes(self) -> bytes:
+        """Pickled form with run-dependent fields zeroed.
+
+        Two runs of the same seeded scenario — serial, pooled, or
+        cache-served — produce identical canonical bytes.  Pickling
+        runs in fast mode (memo disabled) so the bytes depend only on
+        the summary's values, not on which equal strings happen to be
+        the same object — crossing a process boundary breaks string
+        interning and would otherwise change the memo layout.
+        """
+        clean = dataclasses.replace(self, wall_seconds=0.0, from_cache=False)
+        buf = io.BytesIO()
+        pickler = pickle.Pickler(buf, protocol=pickle.HIGHEST_PROTOCOL)
+        pickler.fast = True  # summaries are acyclic plain data
+        pickler.dump(clean)
+        return buf.getvalue()
+
+
+def summarize(
+    result: ScenarioResult, extras: Optional[Dict[str, Any]] = None
+) -> ResultSummary:
+    """Extract the slim summary from a full in-process result."""
+    return ResultSummary(
+        config=result.config,
+        stats=result.stats,
+        completed_flows=result.completed_flows,
+        total_flows=result.total_flows,
+        sim_time=result.sim_time,
+        events=result.events,
+        max_voqs_used=result.max_voqs_used,
+        extras=extras or {},
+        wall_seconds=result.wall_seconds,
+    )
+
+
+# ---------------------------------------------------------------------------
+# tasks
+# ---------------------------------------------------------------------------
+
+#: a task function runs one scenario in the worker process; it must be
+#: a module-level callable (picklable by reference) taking the config
+#: plus ``args`` and returning a ScenarioResult or a ResultSummary
+TaskFn = Callable[..., Union[ScenarioResult, ResultSummary]]
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One unit of a sweep: a result key plus how to produce it."""
+
+    key: Any
+    config: ScenarioConfig
+    fn: Optional[TaskFn] = None
+    args: Tuple[Any, ...] = ()
+
+
+def execute_task(task: SweepTask) -> ResultSummary:
+    """Run one task to a summary (the worker-process entry point)."""
+    if task.fn is None:
+        result: Union[ScenarioResult, ResultSummary] = run_scenario(task.config)
+    else:
+        result = task.fn(task.config, *task.args)
+    if isinstance(result, ResultSummary):
+        return result
+    return summarize(result)
+
+
+# ---------------------------------------------------------------------------
+# cache
+# ---------------------------------------------------------------------------
+
+
+def config_fingerprint(config: ScenarioConfig) -> str:
+    """Stable hex digest of a config (nested dataclasses included)."""
+    payload = json.dumps(
+        dataclasses.asdict(config), sort_keys=True, default=str
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def task_fingerprint(task: SweepTask) -> str:
+    """Cache key: config + task function identity + arguments."""
+    fn_id = (
+        f"{task.fn.__module__}.{task.fn.__qualname__}"
+        if task.fn is not None
+        else "run_scenario"
+    )
+    payload = json.dumps(
+        {
+            "schema": CACHE_SCHEMA_VERSION,
+            "config": dataclasses.asdict(task.config),
+            "fn": fn_id,
+            "args": repr(task.args),
+        },
+        sort_keys=True,
+        default=str,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def default_cache_dir() -> Path:
+    env = os.environ.get(ENV_CACHE_DIR)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "floodgate-repro"
+
+
+def _resolve_cache_dir(
+    cache: Union[bool, str, Path, None]
+) -> Optional[Path]:
+    if cache is False:
+        return None
+    if cache is True:
+        return default_cache_dir()
+    if cache is not None:
+        return Path(cache)
+    # None: opt in via the environment only
+    env = os.environ.get(ENV_CACHE_DIR)
+    return Path(env) if env else None
+
+
+def _cache_load(cache_dir: Path, digest: str) -> Optional[ResultSummary]:
+    path = cache_dir / f"{digest}.pkl"
+    try:
+        with path.open("rb") as fh:
+            summary = pickle.load(fh)
+    except Exception:
+        # unpickling arbitrary corrupt bytes can raise nearly anything
+        # (ValueError, KeyError, UnpicklingError, ...); a bad cache
+        # entry must degrade to a miss, never kill the sweep
+        return None
+    if not isinstance(summary, ResultSummary):
+        return None
+    summary.from_cache = True
+    return summary
+
+
+def _cache_store(cache_dir: Path, digest: str, summary: ResultSummary) -> None:
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    # atomic publish: never expose a half-written pickle
+    fd, tmp = tempfile.mkstemp(dir=cache_dir, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            pickle.dump(summary, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, cache_dir / f"{digest}.pkl")
+    except OSError:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+
+
+# ---------------------------------------------------------------------------
+# the sweep driver
+# ---------------------------------------------------------------------------
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually use (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _pool_context():
+    """Prefer fork (cheap, inherits the imported package) when available."""
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def run_sweep(
+    tasks: Iterable[SweepTask],
+    max_workers: Optional[int] = None,
+    cache: Union[bool, str, Path, None] = None,
+    serial: bool = False,
+) -> Dict[Any, ResultSummary]:
+    """Run every task; return ``{task.key: ResultSummary}``.
+
+    Cache hits are served first; the misses fan out over a process
+    pool (unless ``serial`` is set, ``REPRO_PARALLEL=0``, or only one
+    run is needed — then they run in-process).  Results are assembled
+    in task order regardless of completion order, so the returned
+    mapping is deterministic.
+    """
+    tasks = list(tasks)
+    out: Dict[Any, ResultSummary] = {}
+    cache_dir = _resolve_cache_dir(cache)
+
+    misses: List[SweepTask] = []
+    digests: Dict[Any, str] = {}
+    for task in tasks:
+        if cache_dir is not None:
+            digest = task_fingerprint(task)
+            digests[task.key] = digest
+            hit = _cache_load(cache_dir, digest)
+            if hit is not None:
+                out[task.key] = hit
+                continue
+        misses.append(task)
+
+    if misses:
+        if serial or os.environ.get(ENV_PARALLEL) == "0":
+            workers = 1
+        else:
+            workers = min(len(misses), max_workers or available_cpus())
+        if workers <= 1 or len(misses) == 1:
+            summaries = [execute_task(t) for t in misses]
+        else:
+            with ProcessPoolExecutor(
+                max_workers=workers, mp_context=_pool_context()
+            ) as pool:
+                summaries = list(pool.map(execute_task, misses))
+        for task, summary in zip(misses, summaries):
+            out[task.key] = summary
+            if cache_dir is not None:
+                _cache_store(cache_dir, digests[task.key], summary)
+
+    # preserve the caller's task order
+    return {task.key: out[task.key] for task in tasks}

@@ -443,9 +443,13 @@ class Scenario:
             raise ValueError(f"unknown traffic pattern {cfg.pattern!r}")
 
     def schedule_flows(self, flows: Optional[List[FlowSpec]] = None) -> None:
-        """Register and schedule flow start events."""
-        for spec in flows if flows is not None else self.flows:
-            flow = self.topology.make_flow(
-                spec.flow_id, spec.src, spec.dst, spec.size, spec.start_time
-            )
-            self.topology.start_flow(flow)
+        """Register and schedule flow start events (bulk heap load)."""
+        topo = self.topology
+        topo.start_flows(
+            [
+                topo.make_flow(
+                    spec.flow_id, spec.src, spec.dst, spec.size, spec.start_time
+                )
+                for spec in (flows if flows is not None else self.flows)
+            ]
+        )

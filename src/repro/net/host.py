@@ -17,7 +17,7 @@ keeps per-destination pause state (§4.3 "Hosts' support").
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set
+from typing import Callable, Dict, Optional, Set
 
 from repro.cc.base import CcAlgorithm
 from repro.cc.flow import Flow
@@ -67,6 +67,10 @@ class Host(Node):
         self.cnp_enabled = True
         #: optional per-packet tracer (see repro.net.trace)
         self.tracer = None
+        #: fired once per flow when the last byte arrives; the topology
+        #: wires this to its completion counter so runners can check
+        #: "all flows done" in O(1) instead of scanning the flow table
+        self.on_flow_done: Optional[Callable[[Flow], None]] = None
 
     # -- sending -------------------------------------------------------------------
 
@@ -204,6 +208,8 @@ class Host(Node):
                             now,
                         )
                     )
+                if self.on_flow_done is not None:
+                    self.on_flow_done(flow)
             last = flow.expected_seq >= flow.n_packets
             if last or flow.expected_seq % self.ack_interval == 0:
                 self._send_ack(flow, pkt)

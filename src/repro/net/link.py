@@ -86,4 +86,5 @@ class Link:
                 return
         peer = self.peer_of(sender)
         peer_port = self.peer_port_of(sender)
-        self.sim.schedule(self.delay, peer.receive, pkt, peer_port)
+        # handle-free fast path: propagation events are never cancelled
+        self.sim.schedule_call(self.delay, peer.receive, pkt, peer_port)

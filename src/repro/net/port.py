@@ -24,7 +24,7 @@ from collections import deque
 from typing import TYPE_CHECKING, Callable, Deque, List, Optional
 
 from repro.sim.engine import Simulator
-from repro.units import serialization_delay
+from repro.units import SEC, serialization_delay
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.link import Link
@@ -153,21 +153,24 @@ class EgressPort:
         Returns the queue index to serve next, or -1 if nothing is
         eligible (empty, paused, or port-paused).
         """
-        if self.queues[CONTROL_QUEUE]:
+        queues = self.queues
+        if queues[CONTROL_QUEUE]:
             return CONTROL_QUEUE
         if self.paused:
             return -1
-        for idx in range(1, self.rr_start):
-            if self.queues[idx] and idx not in self.paused_queues:
+        rr_start = self.rr_start
+        paused_queues = self.paused_queues
+        for idx in range(1, rr_start):
+            if queues[idx] and idx not in paused_queues:
                 return idx
-        n = len(self.queues)
-        if n > self.rr_start:
-            span = n - self.rr_start
+        n = len(queues)
+        if n > rr_start:
+            span = n - rr_start
             start = self._rr_next
             for off in range(span):
-                idx = self.rr_start + (start - self.rr_start + off) % span
-                if self.queues[idx] and idx not in self.paused_queues:
-                    self._rr_next = self.rr_start + (idx - self.rr_start + 1) % span
+                idx = rr_start + (start - rr_start + off) % span
+                if queues[idx] and idx not in paused_queues:
+                    self._rr_next = rr_start + (idx - rr_start + 1) % span
                     return idx
         return -1
 
@@ -178,17 +181,21 @@ class EgressPort:
         if idx < 0:
             return
         pkt = self.queues[idx].popleft()
-        self.queue_bytes[idx] -= pkt.size
+        size = pkt.size
+        self.queue_bytes[idx] -= size
         # mark busy *before* the dequeue hook: hooks may enqueue more
         # packets (VOQ drains), which must not re-enter the transmitter
         self._busy = True
         if self.on_dequeue is not None:
             self.on_dequeue(self, pkt, idx)
-        self.tx_bytes += pkt.size
+        self.tx_bytes += size
         if pkt.ecn_capable:
-            self.tx_data_bytes += pkt.size
-        delay = serialization_delay(pkt.size, self.bandwidth)
-        self.sim.schedule(delay, self._tx_done, pkt)
+            self.tx_data_bytes += size
+        # inline serialization_delay (same arithmetic) — this runs once
+        # per transmitted packet; handle-free schedule: never cancelled
+        self.sim.schedule_call(
+            int(round(size * 8 * SEC / self.bandwidth)), self._tx_done, pkt
+        )
 
     def _tx_done(self, pkt: "Packet") -> None:
         self._busy = False

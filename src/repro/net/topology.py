@@ -64,6 +64,10 @@ class Topology:
     base_rtt: int = 0
     #: one-hop host link bandwidth, bits/s
     host_bandwidth: float = 0.0
+    #: flows fully delivered so far (kept by the hosts' ``on_flow_done``
+    #: callbacks, wired in :meth:`finalize`) — runners read this instead
+    #: of scanning the flow table
+    completed_flows: int = 0
 
     def host_by_id(self, node_id: int) -> Host:
         return self.hosts[node_id]
@@ -134,10 +138,16 @@ class Topology:
                 switch.connected_hosts[dst.node_id] = candidates[0]
 
     def finalize(self) -> None:
-        """Compute routes and create switch buffers; call once."""
+        """Compute routes, create switch buffers, wire completion; call once."""
         self.compute_routes()
         for switch in self.switches:
             switch.finalize()
+        for host in self.hosts:
+            if host.on_flow_done is None:
+                host.on_flow_done = self._on_flow_done
+
+    def _on_flow_done(self, flow: Flow) -> None:
+        self.completed_flows += 1
 
     # -- flows --------------------------------------------------------------------------
 
@@ -151,10 +161,19 @@ class Topology:
 
     def start_flow(self, flow: Flow) -> None:
         """Schedule the flow's first packet at its start time."""
-        self.sim.schedule_at(
+        self.sim.schedule_call_at(
             max(flow.start_time, self.sim.now),
             self.hosts[flow.src].start_flow,
             flow,
+        )
+
+    def start_flows(self, flows: List[Flow]) -> None:
+        """Bulk :meth:`start_flow`: one heapify instead of n pushes."""
+        now = self.sim.now
+        hosts = self.hosts
+        self.sim.schedule_many(
+            (max(f.start_time, now), hosts[f.src].start_flow, (f,))
+            for f in flows
         )
 
     def report_pause_times(self) -> None:

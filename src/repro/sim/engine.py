@@ -5,26 +5,38 @@ Design notes
 * Callback events (``fn(*args)``) rather than coroutine processes: the
   hot loop is a heap-pop plus a function call, which is the fastest
   structure pure Python offers for a packet-level simulator.
+* The heap stores plain tuples ``(time, seq, event, fn, args)``.  The
+  sequence number is unique, so tuple comparison is decided entirely by
+  the first two integers at C level — no Python ``__lt__`` dunder ever
+  runs during a push or pop.
 * Integer-nanosecond timestamps: no float drift, and identical event
   ordering across platforms.
 * Ties are broken by insertion order (a monotonically increasing
   sequence number), which makes runs fully deterministic.
 * Cancellation is lazy: a cancelled event stays in the heap but is
   skipped when popped.  This is O(1) for cancel and keeps the heap code
-  branch-free.
+  branch-free.  Both :meth:`Simulator.run` and
+  :meth:`Simulator.peek_next_time` discard cancelled entries the same
+  way — by popping them when they surface at the heap top — so heap
+  state stays consistent no matter which of the two sees them first.
+* Events that never need cancelling (the vast majority: packet
+  serialization/propagation) can skip the :class:`Event` handle
+  entirely via :meth:`Simulator.schedule_call`, and bulk loads (flow
+  start times) go through :meth:`Simulator.schedule_many`.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Iterable, Optional, Tuple
 
 
 class Event:
-    """A scheduled callback.
+    """A cancellable scheduled callback.
 
     Returned by :meth:`Simulator.schedule`; hold on to it only if the
-    event may need cancelling or rescheduling.
+    event may need cancelling or rescheduling.  Ordering lives in the
+    heap tuples, not on this object.
     """
 
     __slots__ = ("time", "seq", "fn", "args", "cancelled")
@@ -39,11 +51,6 @@ class Event:
     def cancel(self) -> None:
         """Prevent the callback from firing.  Safe to call repeatedly."""
         self.cancelled = True
-
-    def __lt__(self, other: "Event") -> bool:
-        if self.time != other.time:
-            return self.time < other.time
-        return self.seq < other.seq
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = " cancelled" if self.cancelled else ""
@@ -63,7 +70,8 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now: int = 0
-        self._heap: list[Event] = []
+        #: heap of (time, seq, Event-or-None, fn, args) tuples
+        self._heap: list[tuple] = []
         self._seq: int = 0
         self._events_executed: int = 0
         self._running = False
@@ -89,8 +97,52 @@ class Simulator:
             )
         self._seq += 1
         ev = Event(time, self._seq, fn, args)
-        heapq.heappush(self._heap, ev)
+        heapq.heappush(self._heap, (time, self._seq, ev, fn, args))
         return ev
+
+    def schedule_call(self, delay: int, fn: Callable[..., Any], *args: Any) -> None:
+        """Fast-path :meth:`schedule` without a cancellation handle.
+
+        Skips the :class:`Event` allocation entirely; use it for events
+        that are never cancelled (packet serialization, propagation).
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, None, fn, args))
+
+    def schedule_call_at(self, time: int, fn: Callable[..., Any], *args: Any) -> None:
+        """Absolute-time variant of :meth:`schedule_call`."""
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule at {time}, current time is {self.now}"
+            )
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, None, fn, args))
+
+    def schedule_many(
+        self, items: Iterable[Tuple[int, Callable[..., Any], tuple]]
+    ) -> None:
+        """Bulk-schedule ``(abs_time, fn, args)`` entries, no handles.
+
+        Appends every entry and restores the heap invariant once with
+        ``heapify`` — O(n + m) instead of m pushes at O(m log n).  Ties
+        still break by overall insertion order (the shared sequence
+        counter), exactly as if each entry had been scheduled one by
+        one.
+        """
+        heap = self._heap
+        seq = self._seq
+        now = self.now
+        for time, fn, args in items:
+            if time < now:
+                raise ValueError(
+                    f"cannot schedule at {time}, current time is {now}"
+                )
+            seq += 1
+            heap.append((time, seq, None, fn, args))
+        self._seq = seq
+        heapq.heapify(heap)
 
     # -- execution ------------------------------------------------------------
 
@@ -106,18 +158,31 @@ class Simulator:
         self._running = True
         self._stopped = False
         heap = self._heap
+        pop = heapq.heappop
+        executed = self._events_executed
         try:
-            while heap and not self._stopped:
-                ev = heap[0]
-                if until is not None and ev.time > until:
-                    break
-                heapq.heappop(heap)
-                if ev.cancelled:
-                    continue
-                self.now = ev.time
-                self._events_executed += 1
-                ev.fn(*ev.args)
+            if until is None:
+                while heap and not self._stopped:
+                    item = pop(heap)
+                    ev = item[2]
+                    if ev is not None and ev.cancelled:
+                        continue
+                    self.now = item[0]
+                    executed += 1
+                    item[3](*item[4])
+            else:
+                while heap and not self._stopped:
+                    if heap[0][0] > until:
+                        break
+                    item = pop(heap)
+                    ev = item[2]
+                    if ev is not None and ev.cancelled:
+                        continue
+                    self.now = item[0]
+                    executed += 1
+                    item[3](*item[4])
         finally:
+            self._events_executed = executed
             self._running = False
         if until is not None and self.now < until and not self._stopped:
             self.now = until
@@ -139,8 +204,18 @@ class Simulator:
         return len(self._heap)
 
     def peek_next_time(self) -> Optional[int]:
-        """Timestamp of the next live event, or ``None`` if drained."""
+        """Timestamp of the next live event, or ``None`` if drained.
+
+        Cancelled entries surfacing at the heap top are discarded, the
+        same cleanup :meth:`run` applies when popping — peeking between
+        ``run`` calls never changes which live event runs next or the
+        order live events run in.
+        """
         heap = self._heap
-        while heap and heap[0].cancelled:
+        while heap:
+            head = heap[0]
+            ev = head[2]
+            if ev is None or not ev.cancelled:
+                return head[0]
             heapq.heappop(heap)
-        return heap[0].time if heap else None
+        return None

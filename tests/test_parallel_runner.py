@@ -1,0 +1,203 @@
+"""Determinism and caching tests for the parallel sweep runner.
+
+The contract under test: the same seeded sweep produces byte-identical
+``ResultSummary`` objects whether it runs serially in-process, fanned
+out over a ``ProcessPoolExecutor``, or served from a warm disk cache.
+"""
+
+import dataclasses
+import os
+import pickle
+import time
+
+import pytest
+
+from repro.experiments.parallel import (
+    ResultSummary,
+    SweepTask,
+    available_cpus,
+    config_fingerprint,
+    run_sweep,
+    summarize,
+    task_fingerprint,
+)
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenario import ScenarioConfig
+
+
+def tiny_config(**overrides) -> ScenarioConfig:
+    base = dict(
+        workload="webserver",
+        cc="dcqcn",
+        n_tors=2,
+        hosts_per_tor=2,
+        duration=100_000,
+        buffer_bytes=200_000,
+        incast_load=0.5,
+        incast_fan_in=3,
+        seed=7,
+    )
+    base.update(overrides)
+    return ScenarioConfig(**base)
+
+
+def tiny_tasks():
+    return [
+        SweepTask(key=f"seed{s}", config=tiny_config(seed=s))
+        for s in (7, 8, 9)
+    ]
+
+
+# a module-level task function, picklable by reference, for custom-fn tasks
+def _scaled_run(config, scale):
+    result = run_scenario(config)
+    return summarize(result, extras={"scale": scale})
+
+
+class TestDeterminism:
+    def test_serial_matches_direct_run(self):
+        cfg = tiny_config()
+        direct = summarize(run_scenario(cfg))
+        swept = run_sweep([SweepTask(key="k", config=cfg)], serial=True)["k"]
+        assert swept.canonical_bytes() == direct.canonical_bytes()
+
+    def test_pool_matches_serial(self):
+        # max_workers=2 forces a real process pool even on 1-CPU boxes
+        serial = run_sweep(tiny_tasks(), serial=True)
+        pooled = run_sweep(tiny_tasks(), max_workers=2)
+        assert list(pooled) == list(serial)  # key order preserved
+        for key in serial:
+            assert (
+                pooled[key].canonical_bytes() == serial[key].canonical_bytes()
+            )
+
+    def test_warm_cache_matches_serial(self, tmp_path):
+        serial = run_sweep(tiny_tasks(), serial=True)
+        cache = tmp_path / "sweep-cache"
+        cold = run_sweep(tiny_tasks(), serial=True, cache=cache)
+        warm = run_sweep(tiny_tasks(), serial=True, cache=cache)
+        for key in serial:
+            assert not cold[key].from_cache
+            assert warm[key].from_cache
+            assert warm[key].canonical_bytes() == serial[key].canonical_bytes()
+            assert cold[key].canonical_bytes() == serial[key].canonical_bytes()
+
+    def test_custom_fn_tasks_deterministic(self):
+        tasks = [
+            SweepTask(key=s, config=tiny_config(seed=s), fn=_scaled_run, args=(2,))
+            for s in (7, 8)
+        ]
+        a = run_sweep(tasks, serial=True)
+        b = run_sweep(tasks, max_workers=2)
+        for key in a:
+            assert a[key].extras == {"scale": 2}
+            assert a[key].canonical_bytes() == b[key].canonical_bytes()
+
+    @pytest.mark.skipif(
+        available_cpus() < 2, reason="needs >=2 CPUs for wall-time scaling"
+    )
+    def test_pool_beats_serial_wall_time(self):
+        tasks = tiny_tasks()
+        run_sweep(tasks[:1], serial=True)  # warm imports/JITs
+        t0 = time.monotonic()
+        run_sweep(tasks, serial=True)
+        serial_wall = time.monotonic() - t0
+        t0 = time.monotonic()
+        run_sweep(tasks, max_workers=min(3, available_cpus()))
+        pool_wall = time.monotonic() - t0
+        assert pool_wall <= 0.6 * serial_wall
+
+
+class TestCache:
+    def test_cache_writes_one_file_per_task(self, tmp_path):
+        cache = tmp_path / "c"
+        run_sweep(tiny_tasks(), serial=True, cache=cache)
+        assert len(list(cache.glob("*.pkl"))) == 3
+
+    def test_cache_disabled_by_default(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        monkeypatch.chdir(tmp_path)
+        run_sweep([SweepTask(key="k", config=tiny_config())], serial=True)
+        assert list(tmp_path.rglob("*.pkl")) == []
+
+    def test_env_var_enables_cache(self, tmp_path, monkeypatch):
+        cache = tmp_path / "envcache"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(cache))
+        run_sweep([SweepTask(key="k", config=tiny_config())], serial=True)
+        warm = run_sweep(
+            [SweepTask(key="k", config=tiny_config())], serial=True
+        )
+        assert warm["k"].from_cache
+
+    @pytest.mark.parametrize(
+        "junk",
+        [
+            b"not a pickle",
+            b"garbage\n",  # first byte is the GET opcode -> ValueError
+            b"",
+            pickle.dumps({"wrong": "type"}),
+        ],
+    )
+    def test_corrupt_cache_entry_is_rerun(self, tmp_path, junk):
+        cache = tmp_path / "c"
+        task = SweepTask(key="k", config=tiny_config())
+        run_sweep([task], serial=True, cache=cache)
+        (pkl,) = cache.glob("*.pkl")
+        pkl.write_bytes(junk)
+        again = run_sweep([task], serial=True, cache=cache)
+        assert not again["k"].from_cache
+        assert again["k"].completed_flows > 0
+
+    def test_fingerprint_sensitive_to_config_and_fn(self):
+        t1 = SweepTask(key="a", config=tiny_config(seed=1))
+        t2 = SweepTask(key="a", config=tiny_config(seed=2))
+        t3 = SweepTask(key="a", config=tiny_config(seed=1), fn=_scaled_run)
+        t4 = SweepTask(
+            key="a", config=tiny_config(seed=1), fn=_scaled_run, args=(3,)
+        )
+        prints = {task_fingerprint(t) for t in (t1, t2, t3, t4)}
+        assert len(prints) == 4
+        # the key is not part of the identity: same work, same digest
+        assert task_fingerprint(
+            SweepTask(key="b", config=tiny_config(seed=1))
+        ) == task_fingerprint(t1)
+
+    def test_config_fingerprint_stable(self):
+        assert config_fingerprint(tiny_config()) == config_fingerprint(
+            tiny_config()
+        )
+        assert config_fingerprint(tiny_config()) != config_fingerprint(
+            tiny_config(seed=8)
+        )
+
+    def test_repro_parallel_env_forces_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL", "0")
+        out = run_sweep(tiny_tasks(), max_workers=2)
+        assert len(out) == 3  # still correct, just in-process
+
+
+class TestResultSummary:
+    def test_summary_is_picklable_and_round_trips(self):
+        summary = summarize(run_scenario(tiny_config()))
+        clone = pickle.loads(pickle.dumps(summary))
+        assert clone.canonical_bytes() == summary.canonical_bytes()
+        assert clone.events == summary.events
+        assert clone.poisson_fct == summary.poisson_fct
+
+    def test_wall_time_excluded_from_identity(self):
+        summary = summarize(run_scenario(tiny_config()))
+        other = dataclasses.replace(
+            summary, wall_seconds=summary.wall_seconds + 1.0, from_cache=True
+        )
+        assert other == summary
+        assert other.canonical_bytes() == summary.canonical_bytes()
+
+    def test_mirrors_scenario_result_metrics(self):
+        result = run_scenario(tiny_config())
+        summary = summarize(result)
+        assert summary.poisson_fct == result.poisson_fct
+        assert summary.incast_fct == result.incast_fct
+        assert summary.max_switch_buffer_mb == result.max_switch_buffer_mb
+        assert summary.pfc_triggered == result.pfc_triggered
+        assert summary.completion_rate == result.completion_rate
+        assert summary.events == result.events

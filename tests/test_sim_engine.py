@@ -112,6 +112,98 @@ class TestScheduling:
         assert fired == sorted(delays)
         assert len(fired) == len(delays)
 
+    def test_cancel_then_peek_then_run_ordering(self):
+        # regression: peek_next_time discards lazily-cancelled events
+        # from the heap; the cleanup must leave the live-event order and
+        # counters exactly as if peek had never been called
+        sim = Simulator()
+        order = []
+        cancelled = sim.schedule(5, order.append, "cancelled")
+        sim.schedule(10, order.append, "b")
+        sim.schedule(7, order.append, "a")
+        cancelled.cancel()
+        assert sim.peek_next_time() == 7  # skips the cancelled head
+        before = sim.pending_events
+        assert sim.peek_next_time() == 7  # idempotent: no more popping
+        assert sim.pending_events == before
+        sim.run()
+        assert order == ["a", "b"]
+        assert sim.events_executed == 2  # cancelled event never counted
+        assert sim.now == 10
+
+    def test_cancel_peek_interleaved_with_run_chunks(self):
+        # the runner's pattern: run(until=...), peek, run(until=...)
+        sim = Simulator()
+        order = []
+        ev = sim.schedule(30, order.append, "x")
+        sim.schedule(10, order.append, "early")
+        sim.schedule(50, order.append, "late")
+        sim.run(until=20)
+        ev.cancel()
+        assert sim.peek_next_time() == 50
+        sim.run(until=100)
+        assert order == ["early", "late"]
+
+
+class TestFastPathScheduling:
+    def test_schedule_call_executes_in_order(self):
+        sim = Simulator()
+        order = []
+        assert sim.schedule_call(20, order.append, "b") is None
+        sim.schedule(10, order.append, "a")  # Event path interleaves
+        sim.schedule_call_at(30, order.append, "c")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_schedule_call_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule_call(-1, lambda: None)
+
+    def test_schedule_call_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(10, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_call_at(5, lambda: None)
+
+    def test_schedule_many_bulk_load(self):
+        sim = Simulator()
+        order = []
+        sim.schedule_many(
+            [(30, order.append, ("c",)), (10, order.append, ("a",))]
+        )
+        sim.schedule(20, order.append, "b")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_schedule_many_ties_break_by_insertion(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(5, order.append, "first")
+        sim.schedule_many(
+            [(5, order.append, ("second",)), (5, order.append, ("third",))]
+        )
+        sim.run()
+        assert order == ["first", "second", "third"]
+
+    def test_schedule_many_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(10, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_many([(5, lambda: None, ())])
+
+    def test_mixed_fast_and_cancellable_events(self):
+        sim = Simulator()
+        order = []
+        ev = sim.schedule(10, order.append, "cancel-me")
+        sim.schedule_call(10, order.append, "keep")
+        ev.cancel()
+        sim.run()
+        assert order == ["keep"]
+        assert sim.events_executed == 1
+
 
 class TestTimer:
     def test_fires_once(self):
