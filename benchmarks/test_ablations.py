@@ -13,7 +13,6 @@ disable them one at a time and measure the damage:
   mask the damage.
 """
 
-import random
 from dataclasses import replace
 
 from benchmarks.conftest import show

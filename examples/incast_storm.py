@@ -10,7 +10,6 @@ both victim classes flow freely.
 Run:  python examples/incast_storm.py
 """
 
-from dataclasses import replace
 
 from repro.experiments import ScenarioConfig, Scenario, run_scenario
 from repro.stats.collector import FlowClass

@@ -9,7 +9,6 @@ under Floodgate.
 Run:  python examples/trace_a_flow.py
 """
 
-from dataclasses import replace
 
 from repro.experiments import Scenario, ScenarioConfig, run_scenario
 from repro.net.trace import PacketTracer

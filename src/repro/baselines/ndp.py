@@ -27,11 +27,11 @@ from typing import Deque, Optional, Set
 
 from repro.net.host import Host
 from repro.net.packet import Packet, PacketKind
-from repro.net.switch import Switch, SwitchExtension
+from repro.net.switch import SwitchExtension
 from repro.net.topology import Topology
 from repro.sim.engine import Simulator
 from repro.sim.process import PeriodicTask, Timer
-from repro.units import MTU, SEC, bdp_packets, serialization_delay
+from repro.units import MTU, bdp_packets, serialization_delay
 
 
 class NdpSwitchExtension(SwitchExtension):
@@ -200,6 +200,13 @@ class NdpHost(Host):
     def _rx_data(self, pkt: Packet) -> None:
         flow = self.flow_table.get(pkt.flow_id)
         if flow is None:
+            return
+        if pkt.corrupted:
+            # failed integrity check: same recovery as a trimmed packet
+            # (NACK the sequence, budget a pull for the retransmission)
+            if self.stats is not None:
+                self.stats.record_corrupt_rx()
+            self._rx_header(pkt)
             return
         cc = self._ndp_rx_state(flow)
         self.rx_data_bytes += pkt.size

@@ -5,6 +5,7 @@ Usage::
     floodgate-experiment list
     floodgate-experiment run fig10 [--full]
     floodgate-experiment run tab02
+    floodgate-experiment faults [--loss-rates 0.01 0.05] [--schemes floodgate ndp]
     floodgate-experiment bench [--repeats 3] [--out BENCH_engine.json]
 """
 
@@ -40,6 +41,7 @@ EXPERIMENTS: Dict[str, tuple[str, str]] = {
     "fig23": ("fig23_ndp", "comparison with NDP"),
     "fig24": ("fig24_pfctag", "comparison with PFC w/ tag"),
     "sec74": ("sec74_resources", "switch resource overhead"),
+    "faults": ("fault_sweep", "fault-injection sweep: loss x fault type x scheme"),
 }
 
 
@@ -66,6 +68,30 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="full CI-scale parameters instead of the quick bench scale",
     )
+    faults_p = sub.add_parser(
+        "faults",
+        help="fault-injection sweep (loss rate x fault type x scheme)",
+    )
+    faults_p.add_argument(
+        "--full",
+        action="store_true",
+        help="full CI-scale parameters instead of the quick bench scale",
+    )
+    faults_p.add_argument(
+        "--loss-rates",
+        type=float,
+        nargs="+",
+        default=None,
+        metavar="RATE",
+        help="loss/corruption rates to sweep (default: scale preset)",
+    )
+    faults_p.add_argument(
+        "--schemes",
+        nargs="+",
+        default=None,
+        choices=["floodgate", "pfc", "bfc", "ndp"],
+        help="schemes to compare (default: all four)",
+    )
     bench_p = sub.add_parser(
         "bench", help="run the engine perf benchmark, write BENCH_engine.json"
     )
@@ -86,6 +112,24 @@ def main(argv: list[str] | None = None) -> int:
         for key, (_, desc) in EXPERIMENTS.items():
             print(f"{key:7s} {desc}")
         return 0
+
+    if args.command == "faults":
+        from repro.experiments.figures import fault_sweep
+
+        print("Running fault-injection sweep ...", file=sys.stderr)
+        start = time.monotonic()
+        result = fault_sweep.run(
+            quick=not args.full,
+            loss_rates=args.loss_rates,
+            schemes=args.schemes,
+        )
+        _print_result(result)
+        print(
+            f"done in {time.monotonic() - start:.1f}s "
+            f"({result['undetected_stalls']} undetected stalls)",
+            file=sys.stderr,
+        )
+        return 0 if result["undetected_stalls"] == 0 else 1
 
     if args.command == "bench":
         from repro.experiments.bench import run_and_write

@@ -15,9 +15,8 @@ from __future__ import annotations
 
 import json
 import os
-import time
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, Union
 
 from repro.experiments.runner import run_scenario
 from repro.experiments.scenario import ScenarioConfig

@@ -12,7 +12,7 @@ from dataclasses import replace
 from typing import Dict
 
 from repro.experiments.runner import run_scenario
-from repro.experiments.scenario import Scenario, ScenarioConfig
+from repro.experiments.scenario import Scenario
 from repro.stats.collector import FlowClass
 from repro.stats.timeseries import ThroughputMonitor
 from repro.units import us

@@ -11,7 +11,6 @@ Paper numbers: Floodgate cuts non-incast avg FCT 30.6 % and p99 by
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import Dict
 
 from repro.experiments.figures.common import LEAF_SPINE_ROLES, run_variants

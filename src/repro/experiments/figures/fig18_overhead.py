@@ -7,7 +7,6 @@ ideal per-packet-credit design costs ~3 %.
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import Dict
 
 from repro.experiments.runner import run_scenario

@@ -11,7 +11,6 @@ from __future__ import annotations
 from typing import Dict, Iterable
 
 from repro.experiments.figures.common import incastmix_base, run_variants
-from repro.stats.collector import FlowClass
 
 
 def run(

@@ -49,7 +49,7 @@ from repro.stats.fct import FctSummary, summarize_fct
 
 #: bump when ResultSummary's layout or the simulation's semantics
 #: change in a way that invalidates previously cached runs
-CACHE_SCHEMA_VERSION = 1
+CACHE_SCHEMA_VERSION = 2  # v2: fault-injection counters in StatsHub/summary
 
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 ENV_PARALLEL = "REPRO_PARALLEL"
@@ -79,6 +79,11 @@ class ResultSummary:
     #: max VOQs in use across extensions (extracted in the worker,
     #: because the extensions themselves stay behind)
     max_voqs_used: int = 0
+    #: go-back-N/NDP retransmissions summed over every flow (the flow
+    #: table stays behind with the scenario)
+    retransmitted_packets: int = 0
+    #: FaultInjector counters, {} when no plan was installed
+    fault_summary: Dict[str, int] = field(default_factory=dict)
     #: figure-specific picklable payload (e.g. a sampled time series)
     extras: Dict[str, Any] = field(default_factory=dict)
     #: wall time of the producing run; excluded from equality so
@@ -134,6 +139,16 @@ class ResultSummary:
             return 1.0
         return self.completed_flows / self.total_flows
 
+    # -- faults -------------------------------------------------------------------
+
+    @property
+    def stall_events(self) -> int:
+        return self.stats.stall_events
+
+    @property
+    def fault_drops_total(self) -> int:
+        return self.stats.fault_drops_total
+
     # -- identity -----------------------------------------------------------------
 
     def canonical_bytes(self) -> bytes:
@@ -166,6 +181,8 @@ def summarize(
         sim_time=result.sim_time,
         events=result.events,
         max_voqs_used=result.max_voqs_used,
+        retransmitted_packets=result.retransmitted_packets,
+        fault_summary=result.fault_summary,
         extras=extras or {},
         wall_seconds=result.wall_seconds,
     )

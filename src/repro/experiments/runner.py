@@ -8,7 +8,7 @@ then extracts the aggregates the paper's figures report.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.experiments.scenario import Scenario, ScenarioConfig
@@ -84,6 +84,26 @@ class ScenarioResult:
             return 1.0
         return self.completed_flows / self.total_flows
 
+    # -- fault injection --------------------------------------------------------
+
+    @property
+    def fault_summary(self) -> Dict[str, int]:
+        """Injected-fault counters, or {} when no plan was installed."""
+        injector = self.scenario.fault_injector
+        return injector.summary() if injector is not None else {}
+
+    @property
+    def stall_events(self) -> int:
+        return self.stats.stall_events
+
+    @property
+    def retransmitted_packets(self) -> int:
+        """Go-back-N/NDP retransmissions summed over every flow."""
+        return sum(
+            f.retransmitted_packets
+            for f in self.scenario.topology.flow_table.values()
+        )
+
 
 def run_scenario(
     config: ScenarioConfig,
@@ -109,6 +129,13 @@ def run_scenario(
         if sim.peek_next_time() is None:
             break  # drained without completing (e.g. unrecovered loss)
     topo.report_pause_times()
+    if sc.watchdog is not None:
+        if topo.completed_flows < total:
+            # ended (hard stop or drain) with flows stranded: make sure
+            # the stall is on the record even if the last watchdog
+            # window never elapsed
+            sc.watchdog.note_drained()
+        sc.watchdog.stop()
     for ext in sc.extensions:
         stop = getattr(ext, "stop", None)
         if stop is not None:

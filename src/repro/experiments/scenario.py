@@ -13,12 +13,14 @@ traffic from it.  The two scales:
 
 from __future__ import annotations
 
-import random
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from enum import Enum
 from typing import Dict, List, Optional
 
 from repro.cc.base import CcAlgorithm, StaticWindowCc
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.faults.watchdog import StallWatchdog
 from repro.cc.dcqcn import Dcqcn, DcqcnConfig
 from repro.cc.dctcp import Dctcp, DctcpConfig
 from repro.cc.hpcc import Hpcc, HpccConfig
@@ -98,6 +100,12 @@ class ScenarioConfig:
     duration: int = 0             # ns of traffic generation; 0 -> default
     seed: int = 1
 
+    # --- faults -----------------------------------------------------------------
+    #: scheduled fault injection (repro.faults); None or an empty plan
+    #: leaves the run bit-identical to a fault-free build.  The plan is
+    #: part of the config, so it hashes into the sweep cache key.
+    fault_plan: Optional[FaultPlan] = None
+
     # --- run control ------------------------------------------------------------
     #: hard stop as a multiple of `duration` (lets stragglers finish)
     max_runtime_factor: float = 8.0
@@ -168,6 +176,25 @@ class Scenario:
         self.mix: Optional[IncastMix] = None
         self.flows: List[FlowSpec] = []
         self._build_traffic()
+        self.fault_injector: Optional[FaultInjector] = None
+        self.watchdog: Optional[StallWatchdog] = None
+        self._install_faults()
+
+    def _install_faults(self) -> None:
+        """Arm the fault plan, if any (no plan -> nothing scheduled)."""
+        plan = self.config.fault_plan
+        if plan is None or not plan:
+            return
+        if plan.faults:
+            self.fault_injector = FaultInjector(
+                self.sim, self.topology, plan, self.rng, stats=self.stats
+            )
+            self.fault_injector.install()
+        if plan.stall_window > 0:
+            self.watchdog = StallWatchdog(
+                self.sim, self.topology, self.stats, plan.stall_window
+            )
+            self.watchdog.start()
 
     # -- topology ----------------------------------------------------------------
 
@@ -335,7 +362,7 @@ class Scenario:
                 self.extensions.append(ext)
             return
         if fc == "bfc":
-            from repro.baselines.bfc import BfcConfig, BfcExtension, install_bfc
+            from repro.baselines.bfc import BfcConfig, install_bfc
 
             bfc_cfg = BfcConfig(
                 n_queues=cfg.bfc_queues,

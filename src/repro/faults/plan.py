@@ -1,0 +1,263 @@
+"""Declarative fault schedules.
+
+A :class:`FaultPlan` is a serializable list of fault specs plus the
+stall-watchdog window.  Plans are pure data: they name *what* goes
+wrong, *where* (a link selector), and *when* (absolute sim time in
+ns); the :mod:`repro.faults.injector` turns a plan into scheduled
+events on a built topology.
+
+Determinism contract
+--------------------
+* A plan carries no randomness of its own — every stochastic fault
+  (Bernoulli loss, corruption) draws from a dedicated child stream of
+  the experiment's :class:`~repro.sim.rng.RngRegistry`, one stream per
+  faulted link, so the same ``(seed, plan)`` pair replays the exact
+  same loss pattern in serial, pooled, and cache-served runs.
+* Plans are frozen dataclasses that round-trip through
+  :meth:`FaultPlan.to_dict` / :meth:`FaultPlan.from_dict` and hash
+  into :func:`FaultPlan.fingerprint`; embedding a plan in a
+  :class:`~repro.experiments.scenario.ScenarioConfig` therefore keys
+  the parallel runner's disk cache correctly.
+
+Link selectors
+--------------
+Faults name their target links with a selector string:
+
+* ``"*"`` — every link;
+* ``"switch-switch"`` — links whose both endpoints are switches;
+* ``"host-switch"`` — host NIC links;
+* ``"name:*"`` — every link touching the node called ``name``;
+* ``"a<->b"`` — the link between nodes ``a`` and ``b`` (either order);
+* ``"#3"`` — the topology's link index 3 (build order).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Tuple, Type, Union
+
+#: packet classes a loss fault can target independently
+CLASS_DATA = "data"
+CLASS_CTRL = "ctrl"
+
+#: link-down semantics for packets already on the wire
+MODE_DRAIN = "drain"  # in-flight packets are delivered
+MODE_DROP = "drop"    # in-flight packets die with the link
+
+
+def _require(cond: bool, msg: str) -> None:
+    if not cond:
+        raise ValueError(msg)
+
+
+def _check_rate(name: str, rate: float) -> None:
+    _require(0.0 <= rate <= 1.0, f"{name} must be in [0, 1], got {rate}")
+
+
+@dataclass(frozen=True)
+class LinkDown:
+    """Take a link down at ``at``; back up after ``duration`` (0 = forever).
+
+    ``mode`` picks what happens to packets in flight when the link
+    dies: ``"drain"`` delivers them (fiber cut after the last bit
+    left), ``"drop"`` discards them at their would-be arrival time
+    (both deterministic — no RNG draw is involved).
+    """
+
+    kind: str = field(default="link-down", init=False)
+    at: int = 0
+    link: str = "*"
+    duration: int = 0
+    mode: str = MODE_DRAIN
+
+    def __post_init__(self) -> None:
+        _require(self.at >= 0, f"at must be >= 0, got {self.at}")
+        _require(self.duration >= 0, f"duration must be >= 0, got {self.duration}")
+        _require(
+            self.mode in (MODE_DRAIN, MODE_DROP),
+            f"mode must be 'drain' or 'drop', got {self.mode!r}",
+        )
+
+
+@dataclass(frozen=True)
+class RandomLoss:
+    """Bernoulli loss over ``[start, start+duration)`` (0 = until the end).
+
+    Data packets and control frames (credits, PAUSE/RESUME, ACKs, ...)
+    are independent classes: ``ctrl_rate`` can starve Floodgate credits
+    or PFC frames while payload flows untouched, and vice versa.
+    """
+
+    kind: str = field(default="random-loss", init=False)
+    start: int = 0
+    link: str = "switch-switch"
+    duration: int = 0
+    data_rate: float = 0.0
+    ctrl_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        _require(self.start >= 0, f"start must be >= 0, got {self.start}")
+        _require(self.duration >= 0, f"duration must be >= 0, got {self.duration}")
+        _check_rate("data_rate", self.data_rate)
+        _check_rate("ctrl_rate", self.ctrl_rate)
+
+
+@dataclass(frozen=True)
+class BurstLoss:
+    """A loss burst: everything (per class) dies inside the window.
+
+    Semantically ``RandomLoss`` with rate 1.0, kept as its own kind so
+    serialized plans read as what they model (a microburst of loss,
+    e.g. an optical glitch), and so sweeps can vary burst placement
+    without touching rates.
+    """
+
+    kind: str = field(default="burst-loss", init=False)
+    at: int = 0
+    link: str = "switch-switch"
+    duration: int = 10_000
+    data_rate: float = 1.0
+    ctrl_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        _require(self.at >= 0, f"at must be >= 0, got {self.at}")
+        _require(self.duration > 0, f"duration must be > 0, got {self.duration}")
+        _check_rate("data_rate", self.data_rate)
+        _check_rate("ctrl_rate", self.ctrl_rate)
+
+
+@dataclass(frozen=True)
+class Corruption:
+    """Deliver data packets but flip their integrity bit.
+
+    A corrupted packet reaches the receiver and is NACKed (go-back-N)
+    or treated like a trimmed header (NDP) — the delivered-but-useless
+    failure mode, distinct from silent loss.  Control frames are never
+    corrupted (real NICs drop bad control frames, which ``RandomLoss``
+    with ``ctrl_rate`` already models).
+    """
+
+    kind: str = field(default="corruption", init=False)
+    start: int = 0
+    link: str = "switch-switch"
+    duration: int = 0
+    rate: float = 0.01
+
+    def __post_init__(self) -> None:
+        _require(self.start >= 0, f"start must be >= 0, got {self.start}")
+        _require(self.duration >= 0, f"duration must be >= 0, got {self.duration}")
+        _check_rate("rate", self.rate)
+
+
+@dataclass(frozen=True)
+class PortDegrade:
+    """Degrade a link: scale its egress rate and/or add latency.
+
+    ``rate_factor`` multiplies the egress bandwidth of both endpoint
+    ports (0.25 = the link runs at a quarter speed); ``extra_delay``
+    adds propagation latency in ns.  Overlapping degradations compose
+    (factors multiply, delays add) and restore cleanly when they end.
+    """
+
+    kind: str = field(default="port-degrade", init=False)
+    at: int = 0
+    link: str = "*"
+    duration: int = 0
+    rate_factor: float = 1.0
+    extra_delay: int = 0
+
+    def __post_init__(self) -> None:
+        _require(self.at >= 0, f"at must be >= 0, got {self.at}")
+        _require(self.duration >= 0, f"duration must be >= 0, got {self.duration}")
+        _require(
+            0.0 < self.rate_factor <= 1.0,
+            f"rate_factor must be in (0, 1], got {self.rate_factor}",
+        )
+        _require(
+            self.extra_delay >= 0,
+            f"extra_delay must be >= 0, got {self.extra_delay}",
+        )
+
+
+FaultSpec = Union[LinkDown, RandomLoss, BurstLoss, Corruption, PortDegrade]
+
+#: kind string -> spec class (kinds are dataclass field defaults)
+FAULT_KINDS: Dict[str, Type] = {
+    cls.kind: cls  # type: ignore[attr-defined]
+    for cls in (LinkDown, RandomLoss, BurstLoss, Corruption, PortDegrade)
+}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A schedule of faults plus the stall-watchdog window.
+
+    ``stall_window`` > 0 arms the
+    :class:`~repro.faults.watchdog.StallWatchdog`: the run is declared
+    stalled if no delivery progress happens for that many ns while
+    flows remain.  0 leaves the watchdog off (and a ``FaultPlan()``
+    with no faults installs nothing at all — runs are bit-identical to
+    a plan-free run).
+    """
+
+    faults: Tuple[FaultSpec, ...] = ()
+    stall_window: int = 0
+
+    def __post_init__(self) -> None:
+        _require(
+            self.stall_window >= 0,
+            f"stall_window must be >= 0, got {self.stall_window}",
+        )
+        # tolerate a list literal at construction time
+        if not isinstance(self.faults, tuple):
+            object.__setattr__(self, "faults", tuple(self.faults))
+        for spec in self.faults:
+            _require(
+                type(spec) in FAULT_KINDS.values(),
+                f"not a fault spec: {spec!r}",
+            )
+
+    def __bool__(self) -> bool:
+        """True when installing the plan changes anything."""
+        return bool(self.faults) or self.stall_window > 0
+
+    def with_fault(self, spec: FaultSpec) -> "FaultPlan":
+        return FaultPlan(self.faults + (spec,), self.stall_window)
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "faults": [asdict(spec) for spec in self.faults],
+            "stall_window": self.stall_window,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        faults = []
+        for entry in data.get("faults", ()):
+            entry = dict(entry)
+            kind = entry.pop("kind")
+            spec_cls = FAULT_KINDS.get(kind)
+            if spec_cls is None:
+                raise ValueError(f"unknown fault kind {kind!r}")
+            faults.append(spec_cls(**entry))
+        return cls(tuple(faults), data.get("stall_window", 0))
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+    def fingerprint(self) -> str:
+        """Stable hex digest; feeds the sweep runner's cache key."""
+        return hashlib.sha256(self.to_json().encode()).hexdigest()
+
+
+def plan_of(*specs: FaultSpec, stall_window: int = 0) -> FaultPlan:
+    """Convenience constructor: ``plan_of(LinkDown(...), RandomLoss(...))``."""
+    return FaultPlan(tuple(specs), stall_window)

@@ -187,6 +187,19 @@ class Host(Node):
         if flow is None:
             return  # stale packet from a flow we never learned about
         now = self.sim.now
+        if pkt.corrupted:
+            # delivered but failed the integrity check: never delivered
+            # to the application; NACK like a sequence gap so go-back-N
+            # rewinds to it (fault injection's delivered-but-NACKed class)
+            if self.stats is not None:
+                self.stats.record_corrupt_rx()
+            if now - flow.last_nack_time >= self.nack_interval:
+                flow.last_nack_time = now
+                nack = Packet.control(PacketKind.NACK, self.node_id, flow.src)
+                nack.flow_id = flow.flow_id
+                nack.seq = flow.expected_seq
+                self.ports[0].enqueue_control(nack)
+            return
         if self.tracer is not None:
             self.tracer.record(now, self.name, "deliver", pkt)
         self.rx_data_bytes += pkt.size

@@ -1,10 +1,15 @@
 """Point-to-point full-duplex links.
 
 A link only models propagation (serialization lives in the egress
-port).  Links also host the fault-injection hook used by the paper's
-robustness experiment (Fig. 12): a Bernoulli drop applied to packets
-in flight, drawn from a dedicated RNG stream so loss patterns are
-reproducible.
+port).  Links host two fault hooks, both zero-cost when unused:
+
+* the legacy Bernoulli drop (``set_loss``) used by the paper's Fig. 12
+  robustness experiment — a flat loss rate for the whole run;
+* the ``fault`` slot, installed per link by
+  :class:`repro.faults.injector.FaultInjector` when a scenario carries
+  a :class:`~repro.faults.plan.FaultPlan` — scheduled outages, bursty
+  and class-split loss, corruption, and degradation.  Unfaulted links
+  pay one ``is None`` check per delivery.
 """
 
 from __future__ import annotations
@@ -15,6 +20,7 @@ from typing import TYPE_CHECKING, Optional
 from repro.sim.engine import Simulator
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.injector import LinkFaultState
     from repro.net.node import Node
     from repro.net.packet import Packet
 
@@ -37,6 +43,7 @@ class Link:
         "loss_rate",
         "_loss_rng",
         "dropped_packets",
+        "fault",
     )
 
     def __init__(
@@ -58,6 +65,8 @@ class Link:
         self.loss_rate: float = 0.0
         self._loss_rng: Optional[random.Random] = None
         self.dropped_packets: int = 0
+        #: scheduled-fault state (see repro.faults); None on healthy links
+        self.fault: Optional["LinkFaultState"] = None
 
     def set_loss(self, rate: float, rng: random.Random) -> None:
         """Enable Bernoulli packet loss on this link (both directions)."""
@@ -86,5 +95,8 @@ class Link:
                 return
         peer = self.peer_of(sender)
         peer_port = self.peer_port_of(sender)
+        if self.fault is not None:
+            self.fault.transmit(pkt, peer, peer_port)
+            return
         # handle-free fast path: propagation events are never cancelled
         self.sim.schedule_call(self.delay, peer.receive, pkt, peer_port)

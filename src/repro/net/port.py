@@ -24,7 +24,7 @@ from collections import deque
 from typing import TYPE_CHECKING, Callable, Deque, List, Optional
 
 from repro.sim.engine import Simulator
-from repro.units import SEC, serialization_delay
+from repro.units import SEC
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.link import Link

@@ -15,7 +15,7 @@ out of the class hierarchy.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.net.buffer import SharedBuffer
 from repro.net.ecn import EcnMarker
@@ -24,9 +24,6 @@ from repro.net.packet import IntRecord, Packet, PacketKind
 from repro.net.port import EgressPort
 from repro.sim.engine import Simulator
 from repro.stats.collector import BW_CREDIT, BW_CTRL, BW_DATA, StatsHub
-
-if TYPE_CHECKING:  # pragma: no cover
-    from repro.net.host import Host
 
 
 def _ecmp_hash(value: int) -> int:
@@ -111,6 +108,11 @@ class Switch(Node):
         #: optional per-packet tracer (see repro.net.trace)
         self.tracer = None
         self.dropped_packets = 0
+        #: control frames no extension claimed (e.g. Floodgate credits
+        #: arriving after teardown, or frames meant for an extension
+        #: this switch doesn't run).  Counted so fault experiments can
+        #: tell injected control loss from unclaimed-frame discard.
+        self.unclaimed_control_frames = 0
         #: per-port occupancy (egress queues + extension VOQ bytes)
         self._port_bytes: List[int] = []
         self.port_max_bytes: List[int] = []
@@ -182,7 +184,14 @@ class Switch(Node):
                 pkt, ingress_port
             ):
                 return
-            return  # unclaimed control frames are dropped silently
+            # unclaimed: no extension owns this frame — count and trace
+            # the discard instead of losing it silently
+            self.unclaimed_control_frames += 1
+            if self.stats is not None:
+                self.stats.record_unclaimed_control()
+            if self.tracer is not None:
+                self.tracer.record(self.sim.now, self.name, "drop", pkt)
+            return
         out_port = self.route(pkt)
         if pkt.is_ack_like():
             # End-to-end control: strictly prioritized, not buffer-accounted

@@ -60,6 +60,17 @@ class StatsHub:
         self.pfc_pause_events: int = 0
         # --- drops ------------------------------------------------------------------
         self.packets_dropped: int = 0
+        # --- fault injection (repro.faults) -----------------------------------
+        #: injected drops by packet class ("data" / "ctrl")
+        self.fault_drops: Dict[str, int] = {"data": 0, "ctrl": 0}
+        #: packets delivered with a failed integrity check (injected)
+        self.fault_corruptions: int = 0
+        #: corrupt arrivals observed by receivers (NACKed, not delivered)
+        self.corrupt_rx: int = 0
+        #: control frames discarded because no extension claimed them
+        self.unclaimed_control_frames: int = 0
+        #: stall episodes: (sim time, flows completed at detection)
+        self.stalls: List[Tuple[int, int]] = []
         # --- bandwidth breakdown (Fig. 18) ------------------------------------
         self.track_bandwidth: bool = False
         self.tx_bytes_by_category: Dict[str, int] = {
@@ -127,6 +138,21 @@ class StatsHub:
     def record_drop(self, count: int = 1) -> None:
         self.packets_dropped += count
 
+    def record_fault_drop(self, data: bool) -> None:
+        self.fault_drops["data" if data else "ctrl"] += 1
+
+    def record_fault_corruption(self) -> None:
+        self.fault_corruptions += 1
+
+    def record_corrupt_rx(self) -> None:
+        self.corrupt_rx += 1
+
+    def record_unclaimed_control(self) -> None:
+        self.unclaimed_control_frames += 1
+
+    def record_stall(self, now: int, completed_flows: int) -> None:
+        self.stalls.append((now, completed_flows))
+
     def record_tx(self, category: str, size: int) -> None:
         if self.track_bandwidth:
             self.tx_bytes_by_category[category] += size
@@ -171,3 +197,13 @@ class StatsHub:
     def total_pfc_paused_us(self, node_kind: str) -> float:
         """Total PFC paused time for a node class, in microseconds."""
         return self.pfc_paused_time.get(node_kind, 0) / 1_000.0
+
+    @property
+    def fault_drops_total(self) -> int:
+        """All injected drops, both packet classes."""
+        return self.fault_drops["data"] + self.fault_drops["ctrl"]
+
+    @property
+    def stall_events(self) -> int:
+        """Stall episodes detected by the watchdog (and drain reports)."""
+        return len(self.stalls)

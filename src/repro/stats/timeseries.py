@@ -7,7 +7,7 @@ than end-of-run aggregates.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+from typing import Callable, Dict, List, Tuple
 
 from repro.sim.engine import Simulator
 from repro.sim.process import PeriodicTask

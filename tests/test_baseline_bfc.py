@@ -1,6 +1,6 @@
 """BFC baseline: queue assignment, pause propagation, host queues."""
 
-from repro.baselines.bfc import BfcConfig, BfcExtension, BfcHost, install_bfc
+from repro.baselines.bfc import BfcConfig, BfcHost, install_bfc
 from repro.cc.base import StaticWindowCc
 from repro.net.switch import Switch
 from repro.net.topology import build_leaf_spine

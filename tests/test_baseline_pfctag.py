@@ -1,6 +1,6 @@
 """PFC w/ tag baseline."""
 
-from repro.baselines.pfc_tag import PfcTagConfig, PfcTagExtension, install_pfc_tag
+from repro.baselines.pfc_tag import PfcTagConfig, install_pfc_tag
 from repro.cc.base import StaticWindowCc
 from repro.net.host import Host
 from repro.net.switch import Switch

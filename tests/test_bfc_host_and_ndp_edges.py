@@ -2,7 +2,7 @@
 
 from repro.baselines.bfc import BfcConfig, _fid_hash
 from repro.net.packet import Packet, PacketKind
-from repro.units import ms, us
+from repro.units import ms
 
 
 class TestBfcConfig:

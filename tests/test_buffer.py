@@ -4,7 +4,6 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.net.buffer import SharedBuffer
-from repro.units import MTU
 
 
 def make(capacity=100_000, alpha=2.0, pfc=True):

@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.floodgate.voq import GROUP_DOWN, GROUP_UP, Voq, VoqPool
+from repro.floodgate.voq import GROUP_DOWN, GROUP_UP, VoqPool
 from repro.net.packet import Packet, PacketKind
 
 

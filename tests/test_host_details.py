@@ -1,9 +1,7 @@
 """Host transport details: coalescing, pacing, RTO behaviour."""
 
-from repro.cc.base import StaticWindowCc
-from repro.net.host import Host
-from repro.net.packet import Packet, PacketKind
-from repro.units import gbps, kb, ms, us
+from repro.net.packet import PacketKind
+from repro.units import gbps, ms, us
 from tests.conftest import MiniNet
 
 

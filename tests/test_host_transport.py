@@ -2,8 +2,9 @@
 
 import random
 
+import pytest
+
 from repro.net.packet import Packet, PacketKind
-from repro.net.switch import Switch
 from repro.units import gbps, kb, ms, us
 from tests.conftest import MiniNet
 
@@ -85,6 +86,107 @@ class TestReliability:
         host = mini.topo.hosts[0]
         stray = Packet(PacketKind.DATA, 5, 0, 1000, flow_id=999, seq=0)
         host.receive(stray, 0)  # must not raise
+
+
+class TestFaultRecovery:
+    """Recovery paths under injected faults (repro.faults)."""
+
+    def _inject(self, net, plan):
+        from repro.faults import FaultInjector
+        from repro.sim.rng import RngRegistry
+
+        inj = FaultInjector(
+            net.sim, net.topo, plan, RngRegistry(5), stats=net.stats
+        )
+        inj.install()
+        return inj
+
+    def test_rto_and_gbn_recover_from_burst_loss(self):
+        from repro.faults import BurstLoss, plan_of
+
+        net = MiniNet()
+        net.topo.hosts[0].rto = us(300)
+        self._inject(
+            net,
+            plan_of(
+                BurstLoss(
+                    at=us(20),
+                    link="torL<->torR",
+                    duration=us(80),
+                    data_rate=1.0,
+                    ctrl_rate=1.0,
+                )
+            ),
+        )
+        f = net.flow(1, 0, 6, 80_000)
+        net.run(ms(50))
+        assert f.receiver_done
+        assert f.retransmitted_packets > 0
+        assert net.stats.fault_drops_total > 0
+
+    def test_lost_pause_frames_overflow_the_buffer(self):
+        # PFC keeps the fabric lossless only while PAUSE frames arrive;
+        # killing the control frames on the host links (where the
+        # switch pauses its upstream senders) must surface as buffer
+        # drops that a clean run never has
+        def build():
+            return MiniNet(
+                buffer_bytes=kb(60), fabric_bandwidth=gbps(10), pfc_alpha=0.5
+            )
+
+        def drive(net):
+            for i in range(4):  # 4:1 incast across the trunk
+                net.flow(i + 1, i, 6, 40_000, start=i * 100)
+            net.run(ms(30))
+
+        clean = build()
+        drive(clean)
+        assert clean.stats.packets_dropped == 0
+
+        from repro.faults import RandomLoss, plan_of
+
+        lossy = build()
+        self._inject(
+            lossy,
+            plan_of(
+                RandomLoss(link="host-switch", data_rate=0.0, ctrl_rate=1.0)
+            ),
+        )
+        drive(lossy)
+        assert lossy.stats.fault_drops["ctrl"] > 0
+        assert lossy.stats.packets_dropped > 0
+
+    @staticmethod
+    def _flap_run(scheme):
+        from repro.experiments.runner import run_scenario
+        from repro.experiments.scenario import ScenarioConfig
+        from repro.faults import LinkDown, plan_of
+
+        cfg = ScenarioConfig(
+            flow_control=scheme,
+            duration=150_000,
+            seed=2,
+            fault_plan=plan_of(
+                LinkDown(at=40_000, link="tor0<->spine0", duration=us(50)),
+                stall_window=100_000,
+            ),
+            max_runtime_factor=20.0,
+        )
+        return run_scenario(cfg)
+
+    @pytest.mark.parametrize("scheme", ["floodgate", "bfc"])
+    def test_link_flap_mid_flow_recovers(self, scheme):
+        result = self._flap_run(scheme)
+        assert result.completion_rate == 1.0
+        assert result.stall_events == 0
+
+    def test_link_flap_strands_ndp_but_watchdog_sees_it(self):
+        # NDP's pull budget dies with silently-lost packets (no trimmed
+        # header -> no NACK), leaving only the one-packet-per-RTO
+        # backstop: flows strand, and the watchdog must say so
+        result = self._flap_run("ndp")
+        assert result.completion_rate < 1.0
+        assert result.stall_events > 0  # no undetected stall
 
 
 class TestCnp:

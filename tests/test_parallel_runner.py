@@ -6,14 +6,12 @@ out over a ``ProcessPoolExecutor``, or served from a warm disk cache.
 """
 
 import dataclasses
-import os
 import pickle
 import time
 
 import pytest
 
 from repro.experiments.parallel import (
-    ResultSummary,
     SweepTask,
     available_cpus,
     config_fingerprint,

@@ -2,11 +2,8 @@
 
 from hypothesis import given, strategies as st
 
-from repro.net.link import Link
 from repro.net.packet import Packet, PacketKind
-from repro.sim.engine import Simulator
-from repro.units import gbps
-from tests.test_link_port import Sink, data, make_pair
+from tests.test_link_port import data, make_pair
 
 
 class TestKick:

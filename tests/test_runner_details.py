@@ -1,8 +1,7 @@
 """Runner internals and result-object helpers."""
 
-from dataclasses import replace
 
-from repro.experiments.runner import ScenarioResult, run_scenario
+from repro.experiments.runner import run_scenario
 from repro.experiments.scenario import Scenario, ScenarioConfig
 from repro.stats.collector import FlowClass
 

@@ -3,8 +3,8 @@
 import random
 
 from repro.net.ecn import EcnConfig, EcnMarker
-from repro.net.packet import Packet, PacketKind
-from repro.units import gbps, ms, us
+from repro.net.packet import PacketKind
+from repro.units import ms
 from tests.conftest import MiniNet
 
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro.net.packet import Packet, PacketKind
 from repro.units import ms
-from tests.conftest import MiniNet
 
 
 class TestRouting:

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.net.topology import PortRole
-from tests.conftest import MiniNet
 
 
 class TestLeafSpine:
@@ -75,7 +74,7 @@ class TestFatTree:
         from repro.net.switch import Switch
         from repro.net.topology import build_fat_tree
         from repro.sim.engine import Simulator
-        from repro.units import gbps, mb
+        from repro.units import mb
 
         sim = Simulator()
         flow_table = {}
