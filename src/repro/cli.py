@@ -7,6 +7,8 @@ Usage::
     floodgate-experiment run tab02
     floodgate-experiment faults [--loss-rates 0.01 0.05] [--schemes floodgate ndp]
     floodgate-experiment bench [--repeats 3] [--out BENCH_engine.json]
+    floodgate-experiment report [--scheme floodgate] [--out run.jsonl]
+    floodgate-experiment report --from run.jsonl
 """
 
 from __future__ import annotations
@@ -52,6 +54,49 @@ def _print_result(obj, indent: int = 0) -> None:
         return round(x, 3) if isinstance(x, float) else str(x)
 
     print(json.dumps(obj, indent=2, default=default))
+
+
+def _report(args) -> int:
+    """The `report` subcommand: render telemetry, saved or freshly run."""
+    from repro.telemetry.export import TelemetryExport
+    from repro.telemetry.report import render_export
+
+    if args.from_file is not None:
+        with open(args.from_file, "r", encoding="utf-8") as fh:
+            export = TelemetryExport.from_jsonl(fh.read())
+        print(render_export(export, width=args.width))
+        return 0
+
+    from repro.experiments.figures.common import incastmix_base
+    from repro.experiments.runner import run_scenario
+    from repro.telemetry.registry import TelemetryConfig
+
+    cfg = incastmix_base(
+        quick=not args.full,
+        workload=args.workload,
+        flow_control=args.scheme,
+        seed=args.seed,
+        telemetry=TelemetryConfig(),
+    )
+    print(
+        f"Running instrumented {args.scheme} / {args.workload} run ...",
+        file=sys.stderr,
+    )
+    start = time.monotonic()
+    result = run_scenario(cfg)
+    elapsed = time.monotonic() - start
+    assert result.telemetry is not None
+    profiler = (
+        result.scenario.telemetry.profiler
+        if result.scenario.telemetry is not None
+        else None
+    )
+    print(render_export(result.telemetry, width=args.width, profiler=profiler))
+    if args.out:
+        result.telemetry.write(args.out)
+        print(f"export written to {args.out}", file=sys.stderr)
+    print(f"done in {elapsed:.1f}s", file=sys.stderr)
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -106,6 +151,42 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="output JSON path (default BENCH_engine.json, or $REPRO_BENCH_OUT)",
     )
+    report_p = sub.add_parser(
+        "report",
+        help="run one instrumented scenario and render its telemetry "
+        "(or re-render a saved export)",
+    )
+    report_p.add_argument(
+        "--from",
+        dest="from_file",
+        default=None,
+        metavar="FILE",
+        help="render a previously saved telemetry JSONL instead of running",
+    )
+    report_p.add_argument(
+        "--scheme",
+        default="floodgate",
+        choices=["none", "floodgate", "floodgate-ideal", "bfc", "ndp"],
+        help="flow control for the instrumented run (default floodgate)",
+    )
+    report_p.add_argument(
+        "--workload", default="websearch", help="workload distribution name"
+    )
+    report_p.add_argument("--seed", type=int, default=1)
+    report_p.add_argument(
+        "--full",
+        action="store_true",
+        help="full CI-scale parameters instead of the quick bench scale",
+    )
+    report_p.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="also save the export (.jsonl or .csv by suffix)",
+    )
+    report_p.add_argument(
+        "--width", type=int, default=72, help="chart width in columns"
+    )
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -130,6 +211,9 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 0 if result["undetected_stalls"] == 0 else 1
+
+    if args.command == "report":
+        return _report(args)
 
     if args.command == "bench":
         from repro.experiments.bench import run_and_write

@@ -14,6 +14,7 @@ from typing import Dict, Iterable
 
 from repro.experiments.figures.common import incastmix_base
 from repro.experiments.runner import run_scenario
+from repro.stats.collector import NON_INCAST
 from repro.stats.fct import fct_cdf
 
 
@@ -41,7 +42,7 @@ def run(
                 quick, workload, cc=cc, flow_control=fc, bfc_queues=queues
             )
             r = run_scenario(cfg)
-            records = r.stats.fct_of_class(None)
+            records = r.stats.fct_of_class(NON_INCAST)
             s = r.poisson_fct
             out[workload][label] = {
                 "avg_us": s.avg_us,

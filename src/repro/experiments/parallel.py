@@ -44,12 +44,13 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.experiments.runner import ScenarioResult, run_scenario
 from repro.experiments.scenario import ScenarioConfig
-from repro.stats.collector import FlowClass, StatsHub
+from repro.stats.collector import NON_INCAST, FlowClass, FlowSelector, StatsHub
 from repro.stats.fct import FctSummary, summarize_fct
+from repro.telemetry.export import TelemetryExport
 
 #: bump when ResultSummary's layout or the simulation's semantics
 #: change in a way that invalidates previously cached runs
-CACHE_SCHEMA_VERSION = 2  # v2: fault-injection counters in StatsHub/summary
+CACHE_SCHEMA_VERSION = 3  # v3: telemetry export blob in the summary
 
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 ENV_PARALLEL = "REPRO_PARALLEL"
@@ -84,6 +85,9 @@ class ResultSummary:
     retransmitted_packets: int = 0
     #: FaultInjector counters, {} when no plan was installed
     fault_summary: Dict[str, int] = field(default_factory=dict)
+    #: finalized telemetry export (plain data, so it pickles across the
+    #: pool and into the cache byte-identically), None unless enabled
+    telemetry: Optional[TelemetryExport] = None
     #: figure-specific picklable payload (e.g. a sampled time series)
     extras: Dict[str, Any] = field(default_factory=dict)
     #: wall time of the producing run; excluded from equality so
@@ -97,13 +101,13 @@ class ResultSummary:
     @property
     def poisson_fct(self) -> FctSummary:
         """Avg/p99 over all non-incast flows (the paper's Fig. 8 metric)."""
-        return summarize_fct(self.stats.fct_of_class(None))
+        return summarize_fct(self.stats.fct_of_class(NON_INCAST))
 
     @property
     def incast_fct(self) -> FctSummary:
         return summarize_fct(self.stats.fct_of_class(FlowClass.INCAST))
 
-    def fct_summary(self, cls: Optional[FlowClass]) -> FctSummary:
+    def fct_summary(self, cls: Union[FlowClass, FlowSelector]) -> FctSummary:
         return summarize_fct(self.stats.fct_of_class(cls))
 
     # -- buffers ------------------------------------------------------------------
@@ -183,6 +187,7 @@ def summarize(
         max_voqs_used=result.max_voqs_used,
         retransmitted_packets=result.retransmitted_packets,
         fault_summary=result.fault_summary,
+        telemetry=result.telemetry,
         extras=extras or {},
         wall_seconds=result.wall_seconds,
     )

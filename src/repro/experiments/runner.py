@@ -9,11 +9,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 from repro.experiments.scenario import Scenario, ScenarioConfig
-from repro.stats.collector import FlowClass, StatsHub
+from repro.stats.collector import NON_INCAST, FlowClass, FlowSelector, StatsHub
 from repro.stats.fct import FctSummary, summarize_fct
+from repro.telemetry.export import TelemetryExport
 from repro.units import us
 
 
@@ -29,19 +30,21 @@ class ScenarioResult:
     sim_time: int = 0
     wall_seconds: float = 0.0
     events: int = 0
+    #: finalized telemetry export, None unless the config enabled it
+    telemetry: Optional[TelemetryExport] = None
 
     # -- FCT ---------------------------------------------------------------------
 
     @property
     def poisson_fct(self) -> FctSummary:
         """Avg/p99 over all non-incast flows (the paper's Fig. 8 metric)."""
-        return summarize_fct(self.stats.fct_of_class(None))
+        return summarize_fct(self.stats.fct_of_class(NON_INCAST))
 
     @property
     def incast_fct(self) -> FctSummary:
         return summarize_fct(self.stats.fct_of_class(FlowClass.INCAST))
 
-    def fct_summary(self, cls: Optional[FlowClass]) -> FctSummary:
+    def fct_summary(self, cls: Union[FlowClass, FlowSelector]) -> FctSummary:
         return summarize_fct(self.stats.fct_of_class(cls))
 
     # -- buffers ------------------------------------------------------------------
@@ -140,6 +143,7 @@ def run_scenario(
         stop = getattr(ext, "stop", None)
         if stop is not None:
             stop()
+    telemetry = sc.telemetry.finalize() if sc.telemetry is not None else None
     return ScenarioResult(
         config=cfg,
         stats=sc.stats,
@@ -149,4 +153,5 @@ def run_scenario(
         sim_time=sim.now,
         wall_seconds=time.monotonic() - wall_start,
         events=sim.events_executed,
+        telemetry=telemetry,
     )

@@ -40,6 +40,8 @@ from repro.net.topology import (
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngRegistry
 from repro.stats.collector import StatsHub
+from repro.telemetry.recorder import TelemetryRecorder
+from repro.telemetry.registry import TelemetryConfig
 from repro.units import bdp_bytes, gbps, mb, ms, us
 from repro.workloads.distributions import WORKLOADS
 from repro.workloads.mix import IncastMix, build_incastmix
@@ -105,6 +107,12 @@ class ScenarioConfig:
     #: leaves the run bit-identical to a fault-free build.  The plan is
     #: part of the config, so it hashes into the sweep cache key.
     fault_plan: Optional[FaultPlan] = None
+
+    # --- telemetry --------------------------------------------------------------
+    #: unified observability (repro.telemetry); None keeps the run
+    #: bit-identical to a telemetry-free build.  Part of the config, so
+    #: it hashes into the sweep cache key alongside the exported blob.
+    telemetry: Optional[TelemetryConfig] = None
 
     # --- run control ------------------------------------------------------------
     #: hard stop as a multiple of `duration` (lets stragglers finish)
@@ -179,6 +187,10 @@ class Scenario:
         self.fault_injector: Optional[FaultInjector] = None
         self.watchdog: Optional[StallWatchdog] = None
         self._install_faults()
+        self.telemetry: Optional[TelemetryRecorder] = None
+        if cfg.telemetry is not None:
+            self.telemetry = TelemetryRecorder(self, cfg.telemetry)
+            self.telemetry.start()
 
     def _install_faults(self) -> None:
         """Arm the fault plan, if any (no plan -> nothing scheduled)."""

@@ -113,6 +113,14 @@ class CreditScheduler:
                 # do not all emit credit bursts in the same instant.
                 timer.start(phase=(in_port * 97) % self.config.credit_timer)
 
+    def telemetry_counters(self) -> Dict[str, int]:
+        """End-of-run counter values for :mod:`repro.telemetry`."""
+        return {
+            "credits_sent": self.credits_sent,
+            "credits_delayed": self.credits_delayed,
+            "credits_regenerated": self.credits_regenerated,
+        }
+
     def answer_syn(self, in_port: int, dst: int) -> None:
         """switchSYN reply: echo the last forwarded PSN unconditionally."""
         key = (in_port, dst)

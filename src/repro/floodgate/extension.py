@@ -61,6 +61,14 @@ class FloodgateExtension(SwitchExtension):
         self.syn_sent = 0
         self.dst_pauses_sent = 0
 
+    def telemetry_counters(self) -> Dict[str, int]:
+        """Credit + VOQ counters for :mod:`repro.telemetry` harvesting."""
+        counters = dict(self.credits.telemetry_counters())
+        counters.update(self.pool.telemetry_counters())
+        counters["syn_sent"] = self.syn_sent
+        counters["dst_pauses_sent"] = self.dst_pauses_sent
+        return counters
+
     # -- installation -----------------------------------------------------------------
 
     def attach(self, switch: Switch) -> None:

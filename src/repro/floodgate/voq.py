@@ -98,6 +98,14 @@ class VoqPool:
     def total_bytes(self) -> int:
         return sum(v.bytes for v in self.voqs if v.in_use)
 
+    def telemetry_counters(self) -> Dict[str, int]:
+        """End-of-run counter values for :mod:`repro.telemetry`."""
+        return {
+            "voq_max_in_use": self.max_in_use,
+            "voq_hash_fallbacks": self.hash_fallbacks,
+            "voq_overflow_bypasses": self.overflow_bypasses,
+        }
+
     # -- allocation -------------------------------------------------------------------
 
     def allocate(self, dst: int, group: int) -> Optional[Voq]:

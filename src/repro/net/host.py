@@ -293,6 +293,17 @@ class Host(Node):
 
     # -- bookkeeping ---------------------------------------------------------------
 
+    def telemetry_gauges(self):
+        """Pull-read gauge surfaces for :mod:`repro.telemetry`.
+
+        Polled by periodic samplers only — never on the packet path.
+        """
+        return {
+            "rx_data_bytes": lambda h=self: h.rx_data_bytes,
+            "tx_data_bytes": lambda h=self: h.tx_data_bytes,
+            "active_flows": lambda h=self: len(h.active_flows),
+        }
+
     def report_pause_time(self) -> None:
         """Flush accumulated PFC pause time into the stats hub."""
         if self.stats is None:

@@ -225,6 +225,10 @@ class Switch(Node):
                 self.dropped_packets += 1
                 if self.stats is not None:
                     self.stats.record_drop()
+                if self.tracer is not None:
+                    # the dropped copy's "rx" must not be mistaken for
+                    # a queued packet when pairing rx/tx delays
+                    self.tracer.record(self.sim.now, self.name, "drop", pkt)
                 return
         port = self.ports[out_port]
         if (
@@ -256,6 +260,19 @@ class Switch(Node):
     def port_occupancy(self, port_index: int) -> int:
         """Current bytes held for ``port_index`` (queues + VOQs)."""
         return self._port_bytes[port_index]
+
+    def telemetry_gauges(self):
+        """Pull-read gauge surfaces for :mod:`repro.telemetry`.
+
+        Polled by periodic samplers only — nothing here runs on the
+        packet path.
+        """
+        return {
+            "buffer_bytes": lambda s=self: (
+                s.buffer.used if s.buffer is not None else 0
+            ),
+            "dropped_packets": lambda s=self: s.dropped_packets,
+        }
 
     # -- dequeue hook -------------------------------------------------------------------
 

@@ -99,27 +99,59 @@ class PacketTracer:
         ]
 
     def hops_of(self, flow_id: int, seq: int) -> List[str]:
-        """Distinct switch/host names the packet visited, in order."""
+        """Distinct switch/host names the packet visited, in order.
+
+        Retransmission-aware: when a seq traverses the network more
+        than once (loss, rewind), later copies revisit nodes already
+        on the path — each node is reported once, at its first visit,
+        so the result is the route rather than the retry history.
+        """
         hops: List[str] = []
+        seen = set()
         for _, node, action in self.path_of(flow_id, seq):
-            if action in ("rx", "deliver") and (not hops or hops[-1] != node):
+            if action in ("rx", "deliver") and node not in seen:
+                seen.add(node)
                 hops.append(node)
         return hops
 
-    def queueing_delay(self, flow_id: int, seq: int, node: str) -> Optional[int]:
-        """ns between a packet's arrival and departure at ``node``."""
-        rx = tx = None
+    def queueing_delays(self, flow_id: int, seq: int, node: str) -> List[int]:
+        """Per-visit queueing delays (ns) of one seq at ``node``.
+
+        A retransmitted seq can pass through the same node several
+        times, and a copy can arrive and then be dropped without ever
+        departing.  Each ``tx`` is therefore paired with the most
+        recent *unconsumed* ``rx`` of the same visit — never an ``rx``
+        that an earlier ``tx`` or a ``drop`` already accounted for —
+        which keeps every reported delay non-negative and tied to one
+        physical traversal.
+        """
+        pending: List[int] = []  # rx times awaiting their tx (or drop)
+        delays: List[int] = []
         for e in self.events:
-            if e.flow_id != flow_id or e.seq != seq or e.kind != "DATA":
+            if (
+                e.flow_id != flow_id
+                or e.seq != seq
+                or e.kind != "DATA"
+                or e.node != node
+            ):
                 continue
-            if e.node == node and e.action == "rx":
-                rx = e.time
-            elif e.node == node and e.action == "tx" and rx is not None:
-                tx = e.time
-                break
-        if rx is None or tx is None:
-            return None
-        return tx - rx
+            if e.action == "rx":
+                pending.append(e.time)
+            elif e.action == "tx" and pending:
+                delays.append(e.time - pending.pop())
+            elif e.action == "drop" and pending:
+                pending.pop()  # this copy died here: its rx is spent
+        return delays
+
+    def queueing_delay(self, flow_id: int, seq: int, node: str) -> Optional[int]:
+        """ns between a packet's arrival and departure at ``node``.
+
+        The first completed visit's delay (see :meth:`queueing_delays`
+        for all visits of a retransmitted seq), or ``None`` if the
+        packet never both arrived and departed there.
+        """
+        delays = self.queueing_delays(flow_id, seq, node)
+        return delays[0] if delays else None
 
     def dump(self, limit: int = 50) -> str:
         """Human-readable transcript of the first ``limit`` events."""

@@ -28,6 +28,7 @@ Design notes
 from __future__ import annotations
 
 import heapq
+import time
 from typing import Any, Callable, Iterable, Optional, Tuple
 
 
@@ -76,6 +77,10 @@ class Simulator:
         self._events_executed: int = 0
         self._running = False
         self._stopped = False
+        #: optional EngineProfiler (repro.telemetry.profile); when set,
+        #: run() switches to an instrumented twin loop.  The unprofiled
+        #: path pays exactly one ``is None`` check per run() call.
+        self._profiler = None
 
     # -- scheduling -----------------------------------------------------------
 
@@ -155,6 +160,9 @@ class Simulator:
         """
         if self._running:
             raise RuntimeError("simulator is already running (re-entrant run())")
+        if self._profiler is not None:
+            self._run_profiled(until)
+            return
         self._running = True
         self._stopped = False
         heap = self._heap
@@ -186,6 +194,49 @@ class Simulator:
             self._running = False
         if until is not None and self.now < until and not self._stopped:
             self.now = until
+
+    def _run_profiled(self, until: Optional[int]) -> None:
+        """Instrumented twin of :meth:`run` (profiler installed).
+
+        Times every callback and feeds per-type counts plus heap depth
+        to the profiler.  Kept separate so the common unprofiled loop
+        stays free of ``perf_counter`` calls and extra branches.
+        """
+        profiler = self._profiler
+        self._running = True
+        self._stopped = False
+        heap = self._heap
+        pop = heapq.heappop
+        perf = time.perf_counter
+        executed = self._events_executed
+        run_start = perf()
+        try:
+            while heap and not self._stopped:
+                if until is not None and heap[0][0] > until:
+                    break
+                item = pop(heap)
+                ev = item[2]
+                if ev is not None and ev.cancelled:
+                    continue
+                self.now = item[0]
+                executed += 1
+                t0 = perf()
+                item[3](*item[4])
+                profiler.note(item[3], perf() - t0, len(heap))
+        finally:
+            profiler.wall_seconds += perf() - run_start
+            self._events_executed = executed
+            self._running = False
+        if until is not None and self.now < until and not self._stopped:
+            self.now = until
+
+    def set_profiler(self, profiler) -> None:
+        """Install (or with ``None`` remove) an engine profiler."""
+        self._profiler = profiler
+
+    @property
+    def profiler(self):
+        return self._profiler
 
     def stop(self) -> None:
         """Stop the run loop after the current event completes."""

@@ -1,11 +1,13 @@
 """Measurement infrastructure: FCT, buffers, PFC, queueing, bandwidth."""
 
-from repro.stats.collector import FlowClass, StatsHub
+from repro.stats.collector import NON_INCAST, FlowClass, FlowSelector, StatsHub
 from repro.stats.fct import FctRecord, FctSummary, summarize_fct
 from repro.stats.timeseries import ThroughputMonitor, BufferSampler
 
 __all__ = [
     "FlowClass",
+    "FlowSelector",
+    "NON_INCAST",
     "StatsHub",
     "FctRecord",
     "FctSummary",

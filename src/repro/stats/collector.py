@@ -13,17 +13,43 @@ and *victims of PFC* (all other Poisson flows).
 from __future__ import annotations
 
 from enum import Enum
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Set, Tuple, Union
 
 from repro.stats.fct import FctRecord
 
 
 class FlowClass(str, Enum):
-    """The paper's three traffic classes (§6.1, Fig. 9)."""
+    """The paper's three traffic classes (§6.1, Fig. 9) plus OTHER.
+
+    ``OTHER`` is the explicit home for flows nothing classified
+    (pure-Poisson runs, hand-built test traffic).  It used to be
+    spelled ``None``, which collided with the *other* ``None`` — the
+    "all non-incast flows" aggregate query — and let figure code
+    silently conflate the two.  Use :data:`NON_INCAST` for the
+    aggregate; ``None`` is rejected everywhere a class is expected.
+    """
 
     INCAST = "incast"
     VICTIM_INCAST = "victim_incast"
     VICTIM_PFC = "victim_pfc"
+    OTHER = "other"
+
+
+class FlowSelector(str, Enum):
+    """Aggregate selectors for queries spanning several flow classes."""
+
+    #: every flow that is not incast (victims + unclassified): the
+    #: population the paper's Fig. 8 "Poisson flows" metric covers
+    NON_INCAST = "non_incast"
+
+
+#: convenience alias: ``stats.fct_of_class(NON_INCAST)``
+NON_INCAST = FlowSelector.NON_INCAST
+
+_NONE_IS_AMBIGUOUS = (
+    "cls=None is ambiguous: pass NON_INCAST for the all-non-incast "
+    "aggregate or FlowClass.OTHER for unclassified flows"
+)
 
 
 #: Bandwidth-overhead categories for Fig. 18.
@@ -79,9 +105,15 @@ class StatsHub:
             BW_CREDIT: 0,
         }
         # --- per-class receive bytes (realtime throughput, Fig. 2/12) -------
-        self.rx_bytes_by_class: Dict[Optional[FlowClass], int] = {}
+        #: unclassified flows land under FlowClass.OTHER, never None
+        self.rx_bytes_by_class: Dict[FlowClass, int] = {}
         # incast flow ids, registered by the workload generator
         self._incast_flows: Set[int] = set()
+        # --- telemetry hooks (repro.telemetry) --------------------------------
+        #: streaming histograms fed behind is-None checks; installed by
+        #: TelemetryRecorder, absent cost is one check per event
+        self.fct_histogram = None
+        self.queuing_histogram = None
 
     # -- flow classes ---------------------------------------------------------------
 
@@ -102,8 +134,12 @@ class StatsHub:
 
     def record_fct(self, record: FctRecord) -> None:
         self.fct_records.append(record)
+        if self.fct_histogram is not None:
+            self.fct_histogram.observe(record.fct)
 
     def record_queuing(self, role: str, flow_id: int, delay: int) -> None:
+        if self.queuing_histogram is not None:
+            self.queuing_histogram.observe(delay)
         table = (
             self.queuing_incast
             if flow_id in self._incast_flows
@@ -158,25 +194,38 @@ class StatsHub:
             self.tx_bytes_by_category[category] += size
 
     def record_rx(self, flow_id: int, size: int) -> None:
-        cls = self.flow_class.get(flow_id)
+        cls = self.flow_class.get(flow_id, FlowClass.OTHER)
         self.rx_bytes_by_class[cls] = self.rx_bytes_by_class.get(cls, 0) + size
 
-    def rx_bytes_of_class(self, cls: Optional[FlowClass]) -> int:
+    def rx_bytes_of_class(self, cls: FlowClass) -> int:
         """Monotone rx-byte counter for one class (throughput source)."""
+        if cls is None:
+            raise ValueError(_NONE_IS_AMBIGUOUS)
         return self.rx_bytes_by_class.get(cls, 0)
 
     # -- queries --------------------------------------------------------------------
 
-    def fct_of_class(self, cls: Optional[FlowClass]) -> List[FctRecord]:
-        """Finished flows of one class (``None`` = non-incast flows)."""
+    def fct_of_class(
+        self, cls: Union[FlowClass, FlowSelector]
+    ) -> List[FctRecord]:
+        """Finished flows of one class, or of a :class:`FlowSelector`.
+
+        Pass :data:`NON_INCAST` for the "every flow that is not
+        incast" aggregate (Fig. 8's Poisson-flow population) and
+        ``FlowClass.OTHER`` for flows nothing ever classified.
+        """
         if cls is None:
+            raise ValueError(_NONE_IS_AMBIGUOUS)
+        if cls is FlowSelector.NON_INCAST:
             return [
                 r
                 for r in self.fct_records
                 if self.flow_class.get(r.flow_id) is not FlowClass.INCAST
             ]
         return [
-            r for r in self.fct_records if self.flow_class.get(r.flow_id) is cls
+            r
+            for r in self.fct_records
+            if self.flow_class.get(r.flow_id, FlowClass.OTHER) is cls
         ]
 
     def max_port_buffer_by_role(self, role: str) -> int:

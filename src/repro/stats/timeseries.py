@@ -3,6 +3,12 @@
 Used by the figures that plot quantities against time (Fig. 2 realtime
 throughput, Fig. 12 loss robustness, Fig. 16 realtime buffer) rather
 than end-of-run aggregates.
+
+Both monitors are thin Gbps/bytes presentation layers over the generic
+periodic samplers in :mod:`repro.telemetry.samplers`; the sampling
+mechanics (tick scheduling, actual-elapsed-window rate math, storage)
+live there so ad-hoc figure monitors and registry-driven run telemetry
+share one implementation.
 """
 
 from __future__ import annotations
@@ -10,17 +16,19 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Tuple
 
 from repro.sim.engine import Simulator
-from repro.sim.process import PeriodicTask
+from repro.telemetry.samplers import GaugeSampler, RateSampler
 from repro.units import SEC
 
 
-class ThroughputMonitor:
+class ThroughputMonitor(RateSampler):
     """Samples byte counters periodically and reports Gbps per series.
 
     ``sources`` maps a series name to a zero-argument callable that
     returns a monotonically increasing byte count (e.g. the sum of
     ``rx_data_bytes`` over a set of hosts); the monitor differentiates
-    it into a rate.
+    it into a rate over the *actual* elapsed window — a monitor
+    started at ``sim.now > 0``, mid-interval, or restarted after
+    ``stop()`` never divides by time the counter didn't cover.
     """
 
     def __init__(
@@ -29,30 +37,8 @@ class ThroughputMonitor:
         sources: Dict[str, Callable[[], int]],
         interval: int,
     ) -> None:
-        self.sim = sim
-        self.sources = sources
-        self.interval = interval
-        self.samples: Dict[str, List[Tuple[int, float]]] = {
-            name: [] for name in sources
-        }
-        self._last: Dict[str, int] = {name: 0 for name in sources}
-        self._task = PeriodicTask(sim, interval, self._sample)
-
-    def start(self) -> None:
-        for name, fn in self.sources.items():
-            self._last[name] = fn()
-        self._task.start()
-
-    def stop(self) -> None:
-        self._task.stop()
-
-    def _sample(self) -> None:
-        for name, fn in self.sources.items():
-            current = fn()
-            delta = current - self._last[name]
-            self._last[name] = current
-            gbps_now = delta * 8 / self.interval  # bytes/ns*8 == Gbps
-            self.samples[name].append((self.sim.now, gbps_now))
+        # bytes/ns * 8 == Gbps
+        super().__init__(sim, sources, interval, scale=8.0, unit="gbps")
 
     def series(self, name: str) -> List[Tuple[float, float]]:
         """Samples for one series as ``(time_ms, gbps)`` pairs."""
@@ -75,7 +61,7 @@ class ThroughputMonitor:
         return -1.0
 
 
-class BufferSampler:
+class BufferSampler(GaugeSampler):
     """Samples arbitrary gauges (e.g. switch buffer bytes) over time."""
 
     def __init__(
@@ -84,35 +70,9 @@ class BufferSampler:
         gauges: Dict[str, Callable[[], int]],
         interval: int,
     ) -> None:
-        self.sim = sim
+        super().__init__(sim, gauges, interval, unit="bytes")
+        #: alias kept for callers that name their sources "gauges"
         self.gauges = gauges
-        self.interval = interval
-        self.samples: Dict[str, List[Tuple[int, int]]] = {
-            name: [] for name in gauges
-        }
-        self._task = PeriodicTask(sim, interval, self._sample)
-
-    def start(self) -> None:
-        self._task.start()
-
-    def stop(self) -> None:
-        self._task.stop()
-
-    def _sample(self) -> None:
-        for name, fn in self.gauges.items():
-            self.samples[name].append((self.sim.now, fn()))
-
-    def max_value(self, name: str) -> int:
-        return max((v for _, v in self.samples[name]), default=0)
-
-    def value_at(self, name: str, time: int) -> int:
-        """Last sampled value at or before ``time`` (0 if none)."""
-        best = 0
-        for t, v in self.samples[name]:
-            if t > time:
-                break
-            best = v
-        return best
 
 
 def utilization(bytes_moved: int, bandwidth: float, duration: int) -> float:

@@ -1,0 +1,37 @@
+"""Unified observability: one registry for counters, gauges,
+histograms, periodic samplers, engine profiling, and run exports.
+
+Opt in per run via ``ScenarioConfig(telemetry=TelemetryConfig())``;
+the resulting :class:`TelemetryExport` rides on
+``ScenarioResult.telemetry`` / ``ResultSummary.telemetry``, survives
+the process pool and the sweep cache byte-identically, and renders
+with the ``report`` CLI subcommand.
+"""
+
+from repro.telemetry.export import TelemetryExport
+from repro.telemetry.profile import EngineProfiler
+from repro.telemetry.recorder import TelemetryRecorder
+from repro.telemetry.report import render_export
+from repro.telemetry.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    TelemetryConfig,
+    TelemetryRegistry,
+)
+from repro.telemetry.samplers import GaugeSampler, PeriodicSampler, RateSampler
+
+__all__ = [
+    "Counter",
+    "EngineProfiler",
+    "Gauge",
+    "GaugeSampler",
+    "Histogram",
+    "PeriodicSampler",
+    "RateSampler",
+    "TelemetryConfig",
+    "TelemetryExport",
+    "TelemetryRecorder",
+    "TelemetryRegistry",
+    "render_export",
+]

@@ -1,0 +1,130 @@
+"""Machine-readable telemetry exports: JSONL and CSV.
+
+A :class:`TelemetryExport` is the frozen, picklable end-of-run
+snapshot: plain dicts/lists/ints/floats, no live objects.  It carries
+only simulation-deterministic data (sample series, counters,
+histograms, per-callback event counts) — wall-clock measurements stay
+on the live profiler — so the same seeded run serialises to the same
+bytes whether it executed serially, in a pool worker, or was replayed
+from the sweep cache.
+
+Formats::
+
+    JSONL  one record per line: meta, then counters, series,
+           histograms, profile — each a sorted-key compact JSON object
+    CSV    flat ``kind,name,x,value`` rows (x = time_ns for series,
+           bin upper edge for histograms, empty otherwise)
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+#: bump when the record layout changes incompatibly
+EXPORT_SCHEMA = 1
+
+
+def _dumps(obj: Any) -> str:
+    """Canonical JSON: sorted keys, no whitespace — stable bytes."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass
+class TelemetryExport:
+    """Deterministic snapshot of one run's telemetry."""
+
+    #: run identity and totals (sim_time_ns, events, interval_ns, ...)
+    meta: Dict[str, Any] = field(default_factory=dict)
+    #: sorted (name, unit, value) rows
+    counters: List[Tuple[str, str, int]] = field(default_factory=list)
+    #: sorted by name: {"name", "unit", "points": [[t_ns, value], ...]}
+    series: List[Dict[str, Any]] = field(default_factory=list)
+    #: sorted by name: {"name", "unit", "bins": [[edge, count], ...],
+    #: "total", "sum", "min", "max"}
+    histograms: List[Dict[str, Any]] = field(default_factory=list)
+    #: {"events", "max_heap_depth", "callbacks": [[name, count], ...]}
+    profile: Optional[Dict[str, Any]] = None
+
+    # -- queries ------------------------------------------------------------
+
+    def series_named(self, name: str) -> Optional[Dict[str, Any]]:
+        for s in self.series:
+            if s["name"] == name:
+                return s
+        return None
+
+    def series_prefixed(self, prefix: str) -> List[Dict[str, Any]]:
+        return [s for s in self.series if s["name"].startswith(prefix)]
+
+    def counter_value(self, name: str) -> Optional[int]:
+        for n, _, v in self.counters:
+            if n == name:
+                return v
+        return None
+
+    # -- serialisation ------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """One canonical-JSON record per line (ends with a newline)."""
+        lines = [_dumps({"type": "meta", "schema": EXPORT_SCHEMA, **self.meta})]
+        for name, unit, value in self.counters:
+            lines.append(
+                _dumps(
+                    {"type": "counter", "name": name, "unit": unit, "value": value}
+                )
+            )
+        for s in self.series:
+            lines.append(_dumps({"type": "series", **s}))
+        for h in self.histograms:
+            lines.append(_dumps({"type": "hist", **h}))
+        if self.profile is not None:
+            lines.append(_dumps({"type": "profile", **self.profile}))
+        return "\n".join(lines) + "\n"
+
+    def to_csv(self) -> str:
+        """Flat ``kind,name,x,value`` rows (same content, same order)."""
+        rows = ["kind,name,x,value"]
+        for name, _, value in self.counters:
+            rows.append(f"counter,{name},,{value}")
+        for s in self.series:
+            for t, v in s["points"]:
+                rows.append(f"series,{s['name']},{t},{v!r}")
+        for h in self.histograms:
+            for edge, count in h["bins"]:
+                rows.append(f"hist,{h['name']},{edge},{count}")
+        if self.profile is not None:
+            for name, count in self.profile["callbacks"]:
+                rows.append(f"profile,{name},,{count}")
+        return "\n".join(rows) + "\n"
+
+    def write(self, path: Union[str, Path]) -> Path:
+        """Write JSONL or CSV depending on the path's suffix."""
+        path = Path(path)
+        text = self.to_csv() if path.suffix == ".csv" else self.to_jsonl()
+        path.write_text(text)
+        return path
+
+    @staticmethod
+    def from_jsonl(text: str) -> "TelemetryExport":
+        """Parse a JSONL export back (inverse of :meth:`to_jsonl`)."""
+        export = TelemetryExport()
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            rec = json.loads(line)
+            kind = rec.pop("type")
+            if kind == "meta":
+                rec.pop("schema", None)
+                export.meta = rec
+            elif kind == "counter":
+                export.counters.append((rec["name"], rec["unit"], rec["value"]))
+            elif kind == "series":
+                export.series.append(rec)
+            elif kind == "hist":
+                export.histograms.append(rec)
+            elif kind == "profile":
+                export.profile = rec
+        return export

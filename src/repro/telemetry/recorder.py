@@ -1,0 +1,206 @@
+"""Wire a scenario to the telemetry registry.
+
+The recorder is the glue between the generic instruments
+(:mod:`repro.telemetry.registry`) and this simulator's subsystems: it
+harvests gauge surfaces from switches and hosts
+(``telemetry_gauges()``), counter surfaces from Floodgate's credit
+scheduler and VOQ pool (``telemetry_counters()``), hangs streaming
+histograms off the :class:`StatsHub` hot-path hooks, and installs the
+engine profiler.  Everything it records is polled or is-None-gated, so
+a run with ``telemetry=None`` is bit-identical to one built before
+this module existed.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, Optional
+
+from repro.stats.collector import FlowClass
+from repro.telemetry.export import TelemetryExport
+from repro.telemetry.profile import EngineProfiler
+from repro.telemetry.registry import TelemetryConfig, TelemetryRegistry
+from repro.telemetry.samplers import GaugeSampler, RateSampler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.scenario import Scenario
+
+
+class TelemetryRecorder:
+    """Owns one run's registry, samplers, and engine profiler."""
+
+    def __init__(self, scenario: "Scenario", config: TelemetryConfig) -> None:
+        self.scenario = scenario
+        self.config = config
+        self.registry = TelemetryRegistry()
+        self.profiler: Optional[EngineProfiler] = None
+        self._finalized: Optional[TelemetryExport] = None
+        self._wire()
+
+    # -- wiring --------------------------------------------------------------
+
+    def _wire(self) -> None:
+        sc = self.scenario
+        cfg = self.config
+        reg = self.registry
+        sim = sc.sim
+        stats = sc.stats
+        topo = sc.topology
+
+        if cfg.throughput:
+            sources: Dict[str, Callable[[], int]] = {
+                f"rx_gbps.{cls.value}": (
+                    lambda s=stats, c=cls: s.rx_bytes_of_class(c)
+                )
+                for cls in FlowClass
+            }
+            host_rx = tuple(
+                h.telemetry_gauges()["rx_data_bytes"] for h in topo.hosts
+            )
+            sources["rx_gbps.total"] = lambda fns=host_rx: sum(
+                f() for f in fns
+            )
+            reg.add_sampler(
+                RateSampler(sim, sources, cfg.interval, scale=8.0, unit="gbps")
+            )
+
+        if cfg.buffers:
+            gauges: Dict[str, Callable[[], int]] = {}
+            reads = []
+            for sw in topo.switches:
+                fn = sw.telemetry_gauges()["buffer_bytes"]
+                gauges[f"buffer_bytes.{sw.name}"] = fn
+                reads.append(fn)
+            gauges["buffer_bytes.total"] = lambda fns=tuple(reads): sum(
+                f() for f in fns
+            )
+            reg.add_sampler(
+                GaugeSampler(sim, gauges, cfg.interval, unit="bytes")
+            )
+
+        if cfg.counters:
+            reg.add_sampler(
+                GaugeSampler(
+                    sim,
+                    {
+                        "pfc_pause_events": lambda s=stats: s.pfc_pause_events,
+                        "packets_dropped": lambda s=stats: s.packets_dropped,
+                    },
+                    cfg.interval,
+                    unit="count",
+                )
+            )
+
+        if cfg.histograms:
+            # streaming: StatsHub feeds these behind is-None checks
+            stats.fct_histogram = reg.histogram("fct_ns", unit="ns")
+            stats.queuing_histogram = reg.histogram("queuing_ns", unit="ns")
+
+        if cfg.engine_profile:
+            self.profiler = EngineProfiler()
+            sim.set_profiler(self.profiler)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        self.registry.start()
+
+    def finalize(self) -> TelemetryExport:
+        """Stop sampling, harvest end-of-run counters, build the export.
+
+        Idempotent: the first call freezes the snapshot.
+        """
+        if self._finalized is not None:
+            return self._finalized
+        self.registry.stop()
+        if self.config.counters:
+            self._harvest_counters()
+        self._finalized = self._build_export()
+        return self._finalized
+
+    def _harvest_counters(self) -> None:
+        sc = self.scenario
+        reg = self.registry
+        stats = sc.stats
+        topo = sc.topology
+        reg.counter("flows.completed").value = topo.completed_flows
+        reg.counter("flows.total").value = len(topo.flow_table)
+        reg.counter("drops.congestion").value = stats.packets_dropped
+        reg.counter("drops.fault_data").value = stats.fault_drops["data"]
+        reg.counter("drops.fault_ctrl").value = stats.fault_drops["ctrl"]
+        reg.counter("rx.corrupt").value = stats.corrupt_rx
+        reg.counter("control.unclaimed").value = stats.unclaimed_control_frames
+        reg.counter("pfc.pause_events").value = stats.pfc_pause_events
+        reg.counter("stalls").value = stats.stall_events
+        for kind in sorted(stats.pfc_paused_time):
+            reg.counter(f"pfc.paused_ns.{kind}", unit="ns").value = (
+                stats.pfc_paused_time[kind]
+            )
+        reg.counter("retransmissions").value = sum(
+            f.retransmitted_packets for f in topo.flow_table.values()
+        )
+        for ext in sc.extensions:
+            harvest = getattr(ext, "telemetry_counters", None)
+            if harvest is None:
+                continue
+            for name, value in harvest().items():
+                if name.endswith("max_in_use"):
+                    # a maximum, not a sum: keep the largest across switches
+                    counter = reg.counter(f"floodgate.{name}")
+                    if value > counter.value:
+                        counter.value = value
+                else:
+                    reg.counter(f"floodgate.{name}").inc(value)
+
+    def _build_export(self) -> TelemetryExport:
+        sc = self.scenario
+        cfg = sc.config
+        reg = self.registry
+        meta = {
+            "sim_time_ns": sc.sim.now,
+            "events": sc.sim.events_executed,
+            "interval_ns": self.config.interval,
+            "seed": cfg.seed,
+            "topology": cfg.topology,
+            "cc": cfg.cc,
+            "flow_control": cfg.flow_control,
+            "workload": cfg.workload,
+        }
+        series = []
+        for sampler in reg.samplers:
+            for name in sorted(sampler.samples):
+                series.append(
+                    {
+                        "name": name,
+                        "unit": sampler.unit,
+                        "points": [[t, v] for t, v in sampler.samples[name]],
+                    }
+                )
+        series.sort(key=lambda s: s["name"])
+        histograms = [
+            {
+                "name": h.name,
+                "unit": h.unit,
+                "bins": [[edge, count] for edge, count in h.bins()],
+                "total": h.total,
+                "sum": h.sum,
+                "min": h.min,
+                "max": h.max,
+            }
+            for _, h in sorted(reg.histograms.items())
+        ]
+        profile = None
+        if self.profiler is not None:
+            profile = {
+                "events": self.profiler.events,
+                "max_heap_depth": self.profiler.max_heap_depth,
+                "callbacks": [
+                    [name, count] for name, count in self.profiler.count_rows()
+                ],
+            }
+        return TelemetryExport(
+            meta=meta,
+            counters=reg.counter_values(),
+            series=series,
+            histograms=histograms,
+            profile=profile,
+        )

@@ -1,0 +1,179 @@
+"""The instrument registry: counters, gauges, streaming histograms.
+
+One :class:`TelemetryRegistry` per run holds every instrument under a
+flat namespace (``"switch.tor0.buffer_bytes"``); samplers, the engine
+profiler, and the exporters all speak to the registry rather than to
+individual subsystems.  Instruments are deliberately tiny:
+
+* :class:`Counter` — a push-updated monotone integer (credits sent,
+  packets dropped);
+* :class:`Gauge` — a pull-read callable (buffer occupancy *right
+  now*), polled by samplers, never on the packet hot path;
+* :class:`Histogram` — a streaming power-of-two-binned distribution
+  (FCTs, queueing delays) with O(1) memory and deterministic bins.
+
+Everything a registry holds is integer- or string-valued, so a
+snapshot is deterministic across processes — the property the export
+layer's byte-identical contract rests on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.units import us
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """What a run records; part of :class:`ScenarioConfig`.
+
+    Frozen so it hashes into the sweep-cache fingerprint: a cached run
+    can only serve requests that asked for the same telemetry.
+    """
+
+    #: sampling period for all periodic samplers, ns
+    interval: int = us(20)
+    #: per-flow-class receive throughput series (Fig. 2's raw material)
+    throughput: bool = True
+    #: per-switch and total buffer occupancy series (Figs. 10/16)
+    buffers: bool = True
+    #: cumulative counter series (PFC events, drops) + end-of-run counters
+    counters: bool = True
+    #: FCT and queueing-delay streaming histograms
+    histograms: bool = True
+    #: engine profile: per-callback event counts, heap depth
+    engine_profile: bool = True
+
+
+class Counter:
+    """A monotonically increasing integer instrument."""
+
+    __slots__ = ("name", "unit", "value")
+
+    def __init__(self, name: str, unit: str = "") -> None:
+        self.name = name
+        self.unit = unit
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A pull-read instrument: ``fn()`` returns the current level."""
+
+    __slots__ = ("name", "unit", "fn")
+
+    def __init__(self, name: str, fn: Callable[[], int], unit: str = "") -> None:
+        self.name = name
+        self.unit = unit
+        self.fn = fn
+
+    def read(self) -> int:
+        return self.fn()
+
+
+class Histogram:
+    """Streaming histogram with power-of-two bins.
+
+    ``observe(v)`` is O(1) and allocation-free after the first hit per
+    bin; bin ``i`` covers ``[2**(i-1), 2**i)`` with bin 0 holding
+    values <= 0 ... 1.  Bin edges depend only on the values observed,
+    never on observation order or wall clock, so two runs that observe
+    the same multiset export identical histograms.
+    """
+
+    __slots__ = ("name", "unit", "counts", "total", "sum", "min", "max")
+
+    def __init__(self, name: str, unit: str = "") -> None:
+        self.name = name
+        self.unit = unit
+        #: bin index -> count (sparse; only touched bins exist)
+        self.counts: Dict[int, int] = {}
+        self.total = 0
+        self.sum = 0
+        self.min: Optional[int] = None
+        self.max: Optional[int] = None
+
+    def observe(self, value: int) -> None:
+        idx = int(value).bit_length() if value > 0 else 0
+        self.counts[idx] = self.counts.get(idx, 0) + 1
+        self.total += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def bins(self) -> List[Tuple[int, int]]:
+        """Sorted ``(upper_edge, count)`` pairs for the touched bins."""
+        return [(1 << i if i else 1, c) for i, c in sorted(self.counts.items())]
+
+    def mean(self) -> float:
+        return self.sum / self.total if self.total else 0.0
+
+    def quantile(self, q: float) -> int:
+        """Upper edge of the bin containing the ``q``-quantile (0..1)."""
+        if not self.total:
+            return 0
+        target = q * self.total
+        seen = 0
+        for edge, count in self.bins():
+            seen += count
+            if seen >= target:
+                return edge
+        return self.bins()[-1][0]
+
+
+class TelemetryRegistry:
+    """Flat namespace of instruments plus the samplers that read them."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+        #: samplers driven off this registry (see telemetry.samplers)
+        self.samplers: List[object] = []
+
+    # -- registration (create-or-get, so wiring code stays idempotent) ----
+
+    def counter(self, name: str, unit: str = "") -> Counter:
+        inst = self.counters.get(name)
+        if inst is None:
+            inst = self.counters[name] = Counter(name, unit)
+        return inst
+
+    def gauge(self, name: str, fn: Callable[[], int], unit: str = "") -> Gauge:
+        inst = Gauge(name, fn, unit)
+        self.gauges[name] = inst
+        return inst
+
+    def histogram(self, name: str, unit: str = "") -> Histogram:
+        inst = self.histograms.get(name)
+        if inst is None:
+            inst = self.histograms[name] = Histogram(name, unit)
+        return inst
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def add_sampler(self, sampler: object) -> None:
+        self.samplers.append(sampler)
+
+    def start(self) -> None:
+        for s in self.samplers:
+            s.start()
+
+    def stop(self) -> None:
+        for s in self.samplers:
+            s.stop()
+
+    # -- snapshot ----------------------------------------------------------
+
+    def counter_values(self) -> List[Tuple[str, str, int]]:
+        """Sorted ``(name, unit, value)`` rows — deterministic order."""
+        return [
+            (c.name, c.unit, c.value)
+            for _, c in sorted(self.counters.items())
+        ]

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.sim.engine import Simulator
-from repro.stats.collector import FlowClass, StatsHub
+from repro.stats.collector import NON_INCAST, FlowClass, StatsHub
 from repro.stats.fct import (
     FctRecord,
     fct_cdf,
@@ -74,8 +74,18 @@ class TestCollector:
         hub.record_fct(rec(2, 200))
         hub.record_fct(rec(3, 300))  # unlabelled
         assert [r.flow_id for r in hub.fct_of_class(FlowClass.INCAST)] == [1]
-        # None = all non-incast
-        assert [r.flow_id for r in hub.fct_of_class(None)] == [2, 3]
+        # the aggregate selector spans every non-incast class,
+        # including unclassified flows
+        assert [r.flow_id for r in hub.fct_of_class(NON_INCAST)] == [2, 3]
+
+    def test_none_is_rejected(self):
+        # None used to mean "all non-incast" for FCTs but "unclassified"
+        # for rx bytes; both now demand an explicit selector
+        hub = StatsHub()
+        with pytest.raises(ValueError, match="ambiguous"):
+            hub.fct_of_class(None)
+        with pytest.raises(ValueError, match="ambiguous"):
+            hub.rx_bytes_of_class(None)
 
     def test_queuing_split_by_incast(self):
         hub = StatsHub()
@@ -122,7 +132,8 @@ class TestCollector:
         hub.record_rx(1, 500)
         hub.record_rx(2, 300)
         assert hub.rx_bytes_of_class(FlowClass.INCAST) == 500
-        assert hub.rx_bytes_of_class(None) == 300
+        # unclassified flows land in the explicit OTHER bucket
+        assert hub.rx_bytes_of_class(FlowClass.OTHER) == 300
 
 
 class TestTimeSeries:

@@ -1,8 +1,23 @@
 """Packet tracing."""
 
-from repro.net.trace import PacketTracer
+from repro.net.trace import PacketTracer, TraceEvent
 from repro.units import ms
 from tests.conftest import MiniNet
+
+
+def synthetic_tracer(steps):
+    """A tracer pre-loaded with (time, node, action) DATA events.
+
+    Builds the event list directly so tests can script exact
+    retransmission/drop interleavings that are awkward to provoke from
+    live traffic.
+    """
+    tracer = PacketTracer()
+    for time, node, action in steps:
+        tracer.events.append(
+            TraceEvent(time, node, action, "DATA", flow_id=1, seq=0, size=1000)
+        )
+    return tracer
 
 
 def traced_net(**tracer_kwargs):
@@ -82,3 +97,74 @@ class TestPathReconstruction:
         text = tracer.dump(limit=5)
         assert "flow=1" in text
         assert "more events" in text
+
+
+class TestRetransmissionPairing:
+    """Regression tests: rx/tx pairing for seqs that visit a node twice.
+
+    ``queueing_delay`` used to pair the first tx with the *latest* rx
+    before it, so a second copy of the same seq arriving (and even
+    dying) at a switch silently shrank the first copy's reported
+    queueing delay.
+    """
+
+    def test_dropped_copy_does_not_steal_the_rx(self):
+        # copy A queues at 10; copy B arrives at 5000 and is dropped at
+        # admission; copy A finally departs at 6000.  The old pairing
+        # matched tx@6000 with rx@5000 and reported 1000 ns — the fixed
+        # pairing consumes B's rx with its drop and reports A's true
+        # 5990 ns wait.
+        tracer = synthetic_tracer(
+            [
+                (10, "tor0", "rx"),
+                (5000, "tor0", "rx"),
+                (5000, "tor0", "drop"),
+                (6000, "tor0", "tx"),
+            ]
+        )
+        assert tracer.queueing_delay(1, 0, "tor0") == 5990
+
+    def test_each_visit_pairs_with_its_own_rx(self):
+        # two complete traversals of the same node (go-back-N rewind):
+        # each tx must pair within its own visit, never across visits
+        tracer = synthetic_tracer(
+            [
+                (10, "tor0", "rx"),
+                (100, "tor0", "tx"),
+                (2000, "tor0", "rx"),
+                (2500, "tor0", "tx"),
+            ]
+        )
+        assert tracer.queueing_delays(1, 0, "tor0") == [90, 500]
+        assert tracer.queueing_delay(1, 0, "tor0") == 90
+
+    def test_rx_without_tx_yields_no_delay(self):
+        tracer = synthetic_tracer([(10, "tor0", "rx"), (10, "tor0", "drop")])
+        assert tracer.queueing_delays(1, 0, "tor0") == []
+        assert tracer.queueing_delay(1, 0, "tor0") is None
+
+    def test_hops_deduplicate_retransmitted_visits(self):
+        # a retransmitted seq walks tor1 -> spine0 -> tor0 twice; the
+        # route must list each node once, in first-visit order
+        route = [(10, "tor1"), (20, "spine0"), (30, "tor0")]
+        steps = []
+        for offset in (0, 1000):
+            for t, node in route:
+                steps.append((t + offset, node, "rx"))
+                steps.append((t + offset + 5, node, "tx"))
+        steps.append((2000, "h0", "deliver"))
+        tracer = synthetic_tracer(steps)
+        assert tracer.hops_of(1, 0) == ["tor1", "spine0", "tor0", "h0"]
+
+    def test_admission_drops_are_traced(self):
+        # tiny switch buffer: congestion drops must appear in the trace
+        # (the pairing fix depends on them)
+        net = MiniNet("leaf-spine", buffer_bytes=6_000, pfc=False)
+        tracer = PacketTracer(kinds=["DATA"])
+        tracer.attach(net.topo)
+        for i, src in enumerate((4, 5, 6, 7)):
+            net.flow(i + 1, src, 0, 30_000)
+        net.run(ms(5))
+        drops = [e for e in tracer.events if e.action == "drop"]
+        assert drops, "no admission drop was traced"
+        assert all(e.kind == "DATA" for e in drops)
