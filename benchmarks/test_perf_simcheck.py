@@ -1,0 +1,160 @@
+"""Sanitizer-off overhead benchmark (tracked via BENCH_simcheck.json).
+
+The simcheck runtime half follows the faults/telemetry contract: an
+unsanitized run pays only the ``sanitizer is None`` checks on the rare
+control branches (PFC/dstPause handling) plus two unconditional integer
+counters on the data path.  This benchmark times the real
+``Host.receive`` control dispatch against a local replica with the
+sanitizer branches deleted, on the same frames, and asserts the hooks
+cost < 2 %.
+
+Both variants are timed as min-of-several interleaved repeats, so a GC
+pause or a noisy neighbour hits both sides alike rather than producing
+a false regression.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+from benchmarks.conftest import show
+
+from repro.cc.base import StaticWindowCc
+from repro.net.host import Host
+from repro.net.packet import Packet, PacketKind
+from repro.sim.engine import Simulator
+from repro.units import gbps, kb
+
+BENCH_FILE = pathlib.Path(__file__).parent / "BENCH_simcheck.json"
+
+#: PAUSE/RESUME frames per timed repeat; large enough to swamp timer
+#: resolution on the ~100 ns dispatch being measured
+N_FRAMES = 200_000
+REPEATS = 9
+#: the acceptance bar: the is-None checks must stay under 2 % overhead,
+#: padded only by measurement noise (min-of-repeats keeps that small)
+MAX_OVERHEAD = 0.02
+#: timing jitter allowance on top of the bar; a genuine added branch
+#: or attribute lookup costs far more than this
+NOISE_MARGIN = 0.02
+
+
+class _StubPort:
+    """Port stand-in: just the pause state ``Host.receive`` toggles."""
+
+    __slots__ = ("paused",)
+
+    def __init__(self) -> None:
+        self.paused = False
+
+    def pause(self) -> None:
+        self.paused = True
+
+    def resume(self) -> None:
+        self.paused = False
+
+
+class _LegacyHost(Host):
+    """Host with ``receive`` exactly as it was before the sanitizer slot.
+
+    A subclass (not a wrapper function) so both variants are bound
+    methods with identical call overhead — the measurement isolates the
+    ``sanitizer is None`` branches on the PFC/dstPause paths.
+    """
+
+    def receive(self, pkt, ingress_port):
+        kind = pkt.kind
+        if kind == PacketKind.DATA:
+            self._receive_data(pkt)
+        elif kind == PacketKind.ACK:
+            self._receive_ack(pkt)
+        elif kind == PacketKind.NACK:
+            self._receive_nack(pkt)
+        elif kind == PacketKind.CNP:
+            flow = self.flow_table.get(pkt.flow_id)
+            if flow is not None and not flow.sender_done:
+                self.cc.on_cnp(flow, self.sim.now)
+        elif kind == PacketKind.PFC_PAUSE:
+            self.ports[ingress_port].pause()
+        elif kind == PacketKind.PFC_RESUME:
+            self.ports[ingress_port].resume()
+        elif kind == PacketKind.DST_PAUSE:
+            self.paused_dsts.add(pkt.pause_dst)
+        elif kind == PacketKind.DST_RESUME:
+            self.paused_dsts.discard(pkt.pause_dst)
+            for flow_id in sorted(self.active_flows):
+                flow = self.flow_table[flow_id]
+                if flow.dst == pkt.pause_dst and not flow.sender_done:
+                    self._kick(flow)
+
+
+def _build(cls):
+    sim = Simulator()
+    host = cls(sim, 0, "h0", StaticWindowCc(gbps(10), kb(30)), {})
+    host.ports.append(_StubPort())
+    pause = Packet.control(PacketKind.PFC_PAUSE, 1, 0)
+    resume = Packet.control(PacketKind.PFC_RESUME, 1, 0)
+    return host, pause, resume
+
+
+def _time_one(receive, pause, resume) -> float:
+    start = time.perf_counter()
+    for _ in range(N_FRAMES // 2):
+        receive(pause, 0)
+        receive(resume, 0)
+    return time.perf_counter() - start
+
+
+def test_sanitizer_hook_overhead_under_2_percent(once):
+    def measure():
+        host_h, pause_h, resume_h = _build(Host)
+        host_l, pause_l, resume_l = _build(_LegacyHost)
+        assert host_h.sanitizer is None  # the path being priced
+        hooked, legacy = [], []
+        for _ in range(REPEATS):  # interleaved: noise hits both alike
+            hooked.append(_time_one(host_h.receive, pause_h, resume_h))
+            legacy.append(_time_one(host_l.receive, pause_l, resume_l))
+        return min(hooked), min(legacy)
+
+    hooked_s, legacy_s = once(measure)
+    overhead = hooked_s / legacy_s - 1.0
+    record = {
+        "benchmark": "sanitizer_hook_overhead",
+        "events": N_FRAMES,
+        "repeats": REPEATS,
+        "hooked_seconds": round(hooked_s, 6),
+        "legacy_seconds": round(legacy_s, 6),
+        "overhead_fraction": round(overhead, 4),
+        "budget_fraction": MAX_OVERHEAD,
+    }
+    BENCH_FILE.write_text(json.dumps(record, indent=2) + "\n")
+    show(
+        "Sanitizer-hook overhead (BENCH_simcheck.json)",
+        f"{N_FRAMES:,} control frames: hooked {hooked_s * 1e3:.1f} ms vs "
+        f"legacy {legacy_s * 1e3:.1f} ms -> {overhead:+.2%} "
+        f"(budget {MAX_OVERHEAD:.0%})",
+    )
+    assert overhead < MAX_OVERHEAD + NOISE_MARGIN
+
+
+def test_unsanitized_run_schedules_no_sanitizer_events(once):
+    """End to end: a sanitize-free scenario builds none of the machinery."""
+    from repro.experiments.runner import run_scenario
+    from repro.experiments.scenario import ScenarioConfig
+
+    result = once(
+        run_scenario,
+        ScenarioConfig(flow_control="floodgate", duration=150_000, seed=9),
+    )
+    sc = result.scenario
+    assert sc.sanitizer is None
+    assert result.sanitizer_violations == []
+    assert all(h.sanitizer is None for h in sc.topology.hosts)
+    assert all(sw.sanitizer is None for sw in sc.topology.switches)
+    show(
+        "No-sanitize simcheck cost",
+        f"{result.events:,} events, no sanitizer task, "
+        f"every node.sanitizer is None",
+    )

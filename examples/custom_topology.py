@@ -43,7 +43,7 @@ def main() -> None:
     # --- hosts: rack sizes 2, 2, and 6 ---------------------------------
     rack_sizes = [2, 2, 6]
     host_id = 0
-    for tor, size in zip(tors, rack_sizes):
+    for tor, size in zip(tors, rack_sizes, strict=True):
         for _ in range(size):
             host = Host(sim, host_id, f"h{host_id}", cc, flow_table, stats=stats)
             topo.hosts.append(host)
@@ -90,7 +90,7 @@ def main() -> None:
         )
     print()
     print("floodgate state after the storm:")
-    for sw, ext in zip(topo.switches, extensions):
+    for sw, ext in zip(topo.switches, extensions, strict=True):
         print(
             f"  {sw.name:6s} max VOQs used={ext.pool.max_in_use}"
             f"  credits sent={ext.credits.credits_sent}"

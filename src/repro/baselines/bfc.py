@@ -189,13 +189,13 @@ class BfcExtension(SwitchExtension):
             state.paused_upstreams
             and port.queue_bytes[queue_idx] <= self.config.resolved_resume()
         ):
-            for in_port, up_q in state.paused_upstreams:
+            for in_port, up_q in sorted(state.paused_upstreams):
                 self._send_pause(in_port, up_q, resume=True)
             state.paused_upstreams.clear()
         if self.config.ideal and port.queue_bytes[queue_idx] == 0:
             # BFC-ideal: immediately recycle the drained per-flow queue
             table = self.assignment[port.index]
-            for fid in state.fids:
+            for fid in sorted(state.fids):
                 table.pop(fid, None)
             state.fids.clear()
             self.free_queues[port.index].append(queue_idx)
@@ -253,7 +253,7 @@ class BfcHost(Host):
             return
         if pkt.kind == PacketKind.BFC_RESUME:
             self.paused_queues.discard(pkt.pause_port)
-            for flow_id in list(self.active_flows):
+            for flow_id in sorted(self.active_flows):
                 flow = self.flow_table[flow_id]
                 if (
                     self._host_queue_of(flow_id) == pkt.pause_port

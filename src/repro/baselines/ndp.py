@@ -104,6 +104,7 @@ class NdpHost(Host):
         )
         pkt.sent_time = self.sim.now
         self.tx_data_bytes += pkt.size
+        self.tx_data_packets += 1
         self.ports[0].enqueue(pkt, 1)
         if flow.rto_timer is not None and not flow.rto_timer.armed:
             flow.rto_timer.start(self.rto)
@@ -193,11 +194,18 @@ class NdpHost(Host):
         elif kind == PacketKind.ACK:
             self._rx_ack(pkt)
         elif kind == PacketKind.PFC_PAUSE:
-            self.ports[ingress_port].pause()
+            port = self.ports[ingress_port]
+            if self.sanitizer is not None:
+                self.sanitizer.note_pfc(self, ingress_port, True, port.paused)
+            port.pause()
         elif kind == PacketKind.PFC_RESUME:
-            self.ports[ingress_port].resume()
+            port = self.ports[ingress_port]
+            if self.sanitizer is not None:
+                self.sanitizer.note_pfc(self, ingress_port, False, port.paused)
+            port.resume()
 
     def _rx_data(self, pkt: Packet) -> None:
+        self.rx_data_packets += 1
         flow = self.flow_table.get(pkt.flow_id)
         if flow is None:
             return

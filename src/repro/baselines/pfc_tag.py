@@ -129,7 +129,7 @@ class PfcTagExtension(SwitchExtension):
         paused = self.paused_upstreams.get(dst)
         if not paused or backlog > self.config.resume_threshold:
             return
-        for in_port in paused:
+        for in_port in sorted(paused):
             peer = self.switch.peer(in_port)
             frame = Packet.control(
                 PacketKind.TAG_RESUME, self.switch.node_id, peer.node_id

@@ -129,7 +129,7 @@ class Hpcc(CcAlgorithm):
             return None
         u_max = 0.0
         t = self.config.base_rtt
-        for p, c in zip(prev, curr):
+        for p, c in zip(prev, curr, strict=True):
             dt = c.timestamp - p.timestamp
             if dt <= 0:
                 continue

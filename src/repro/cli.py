@@ -9,6 +9,7 @@ Usage::
     floodgate-experiment bench [--repeats 3] [--out BENCH_engine.json]
     floodgate-experiment report [--scheme floodgate] [--out run.jsonl]
     floodgate-experiment report --from run.jsonl
+    floodgate-experiment check [paths ...] [--sanitize] [--rules]
 """
 
 from __future__ import annotations
@@ -99,6 +100,52 @@ def _report(args) -> int:
     return 0
 
 
+def _check(args) -> int:
+    """The `check` subcommand: static lint, optionally the runtime suite."""
+    from pathlib import Path
+
+    from repro.simcheck.linter import run_check
+    from repro.simcheck.rules import RULES
+
+    if args.rules:
+        for rule, desc in RULES.items():
+            print(f"{rule}  {desc}")
+        return 0
+
+    root = Path(args.root) if args.root else None
+    report = run_check(root=root, paths=args.paths or None)
+    for finding in report.findings:
+        print(finding.format())
+    print(f"simcheck: {report.summary()}", file=sys.stderr)
+    status = 0 if report.ok else 1
+
+    if args.sanitize:
+        from repro.simcheck.determinism import run_suite
+
+        print("simcheck: running sanitized determinism suite ...", file=sys.stderr)
+        start = time.monotonic()
+        suite = run_suite(seed=args.seed, schemes=args.schemes)
+        for name, rep in suite["schemes"].items():
+            mark = "ok" if rep["ok"] else "FAIL"
+            print(
+                f"  {name:12s} {mark}  digest={rep['digest'][:16]} "
+                f"events={rep['events']} violations={len(rep['violations'])}"
+            )
+            for v in rep["violations"]:
+                print(f"    {v}")
+        pool_mark = "ok" if suite["pool_identical"] else "FAIL"
+        print(f"  serial-vs-pooled {pool_mark}")
+        for key in suite["pool_mismatched"]:
+            print(f"    mismatch: {key}")
+        print(
+            f"simcheck: suite done in {time.monotonic() - start:.1f}s",
+            file=sys.stderr,
+        )
+        if not suite["ok"]:
+            status = 1
+    return status
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="floodgate-experiment",
@@ -187,6 +234,38 @@ def main(argv: list[str] | None = None) -> int:
     report_p.add_argument(
         "--width", type=int, default=72, help="chart width in columns"
     )
+    check_p = sub.add_parser(
+        "check",
+        help="determinism lint (SIM001..SIM004); --sanitize adds the "
+        "runtime invariant + digest suite",
+    )
+    check_p.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to lint, relative to the repo root "
+        "(default: src tests benchmarks examples)",
+    )
+    check_p.add_argument(
+        "--rules", action="store_true", help="print the rule catalogue and exit"
+    )
+    check_p.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="also run every scheme sanitized twice and compare digests",
+    )
+    check_p.add_argument(
+        "--schemes",
+        nargs="+",
+        default=None,
+        choices=["dcqcn", "floodgate", "bfc", "ndp"],
+        help="schemes for the --sanitize suite (default: all four)",
+    )
+    check_p.add_argument("--seed", type=int, default=1)
+    check_p.add_argument(
+        "--root",
+        default=None,
+        help="repo root (default: ascend from CWD to pyproject.toml)",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -214,6 +293,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "report":
         return _report(args)
+
+    if args.command == "check":
+        return _check(args)
 
     if args.command == "bench":
         from repro.experiments.bench import run_and_write

@@ -87,11 +87,11 @@ def format_table(
         for i, cell in enumerate(row):
             widths[i] = max(widths[i], len(cell))
     lines = [
-        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths, strict=True)),
         "  ".join("-" * w for w in widths),
     ]
     for row in str_rows:
-        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths, strict=True)))
     return "\n".join(lines)
 
 

@@ -29,7 +29,7 @@ def run(quick: bool = True, workload: str = "webserver") -> Dict:
     result = run_scenario(cfg, scenario=sc)
     n_hosts = len(sc.topology.hosts)
     per_switch = []
-    for sw, ext in zip(sc.topology.switches, sc.extensions):
+    for sw, ext in zip(sc.topology.switches, sc.extensions, strict=True):
         per_switch.append(
             {
                 "switch": sw.name,

@@ -50,7 +50,7 @@ from repro.telemetry.export import TelemetryExport
 
 #: bump when ResultSummary's layout or the simulation's semantics
 #: change in a way that invalidates previously cached runs
-CACHE_SCHEMA_VERSION = 3  # v3: telemetry export blob in the summary
+CACHE_SCHEMA_VERSION = 4  # v4: sanitizer violations in the summary
 
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 ENV_PARALLEL = "REPRO_PARALLEL"
@@ -88,6 +88,9 @@ class ResultSummary:
     #: finalized telemetry export (plain data, so it pickles across the
     #: pool and into the cache byte-identically), None unless enabled
     telemetry: Optional[TelemetryExport] = None
+    #: invariant violations from the opt-in sanitizer (repro.simcheck);
+    #: empty for clean sanitized runs and for unsanitized runs
+    sanitizer_violations: List[str] = field(default_factory=list)
     #: figure-specific picklable payload (e.g. a sampled time series)
     extras: Dict[str, Any] = field(default_factory=dict)
     #: wall time of the producing run; excluded from equality so
@@ -188,6 +191,7 @@ def summarize(
         retransmitted_packets=result.retransmitted_packets,
         fault_summary=result.fault_summary,
         telemetry=result.telemetry,
+        sanitizer_violations=result.sanitizer_violations,
         extras=extras or {},
         wall_seconds=result.wall_seconds,
     )
@@ -372,7 +376,7 @@ def run_sweep(
                 max_workers=workers, mp_context=_pool_context()
             ) as pool:
                 summaries = list(pool.map(execute_task, misses))
-        for task, summary in zip(misses, summaries):
+        for task, summary in zip(misses, summaries, strict=True):
             out[task.key] = summary
             if cache_dir is not None:
                 _cache_store(cache_dir, digests[task.key], summary)

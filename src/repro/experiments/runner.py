@@ -8,7 +8,7 @@ then extracts the aggregates the paper's figures report.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
 
 from repro.experiments.scenario import Scenario, ScenarioConfig
@@ -32,6 +32,9 @@ class ScenarioResult:
     events: int = 0
     #: finalized telemetry export, None unless the config enabled it
     telemetry: Optional[TelemetryExport] = None
+    #: invariant violations the sanitizer collected; empty both for
+    #: clean sanitized runs and for unsanitized runs
+    sanitizer_violations: List[str] = field(default_factory=list)
 
     # -- FCT ---------------------------------------------------------------------
 
@@ -114,7 +117,7 @@ def run_scenario(
     check_interval: int = us(100),
 ) -> ScenarioResult:
     """Build (unless given), schedule, and run a scenario to completion."""
-    wall_start = time.monotonic()
+    wall_start = time.monotonic()  # simcheck: ignore[SIM002] -- wall time for reporting only
     sc = scenario if scenario is not None else Scenario(config)
     sc.schedule_flows()
     sim = sc.sim
@@ -144,6 +147,10 @@ def run_scenario(
         if stop is not None:
             stop()
     telemetry = sc.telemetry.finalize() if sc.telemetry is not None else None
+    violations: List[str] = []
+    if sc.sanitizer is not None:
+        sc.sanitizer.final_check()
+        violations = list(sc.sanitizer.violations)
     return ScenarioResult(
         config=cfg,
         stats=sc.stats,
@@ -151,7 +158,8 @@ def run_scenario(
         completed_flows=topo.completed_flows,
         total_flows=total,
         sim_time=sim.now,
-        wall_seconds=time.monotonic() - wall_start,
+        wall_seconds=time.monotonic() - wall_start,  # simcheck: ignore[SIM002] -- wall time for reporting only
         events=sim.events_executed,
         telemetry=telemetry,
+        sanitizer_violations=violations,
     )

@@ -39,6 +39,7 @@ from repro.net.topology import (
 )
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngRegistry
+from repro.simcheck.sanitizer import SanitizerConfig, SimSanitizer
 from repro.stats.collector import StatsHub
 from repro.telemetry.recorder import TelemetryRecorder
 from repro.telemetry.registry import TelemetryConfig
@@ -113,6 +114,12 @@ class ScenarioConfig:
     #: bit-identical to a telemetry-free build.  Part of the config, so
     #: it hashes into the sweep cache key alongside the exported blob.
     telemetry: Optional[TelemetryConfig] = None
+
+    # --- sanitizer --------------------------------------------------------------
+    #: runtime invariant checks (repro.simcheck); None keeps the run
+    #: bit-identical to a sanitizer-free build.  Part of the config, so
+    #: it hashes into the sweep cache key.
+    sanitize: Optional[SanitizerConfig] = None
 
     # --- run control ------------------------------------------------------------
     #: hard stop as a multiple of `duration` (lets stragglers finish)
@@ -191,6 +198,10 @@ class Scenario:
         if cfg.telemetry is not None:
             self.telemetry = TelemetryRecorder(self, cfg.telemetry)
             self.telemetry.start()
+        self.sanitizer: Optional[SimSanitizer] = None
+        if cfg.sanitize is not None:
+            self.sanitizer = SimSanitizer(self, cfg.sanitize)
+            self.sanitizer.start()
 
     def _install_faults(self) -> None:
         """Arm the fault plan, if any (no plan -> nothing scheduled)."""

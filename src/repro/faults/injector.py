@@ -110,6 +110,7 @@ class LinkFaultState:
         "extra_delay",
         "injected_drops_data",
         "injected_drops_ctrl",
+        "injected_drops_credit",
         "injected_corruptions",
     )
 
@@ -139,6 +140,9 @@ class LinkFaultState:
         self.extra_delay = 0
         self.injected_drops_data = 0
         self.injected_drops_ctrl = 0
+        #: subset of the ctrl drops that were Floodgate CREDIT frames
+        #: (the sanitizer's credit ledger needs them split out)
+        self.injected_drops_credit = 0
         self.injected_corruptions = 0
 
     # -- effective-rate composition -------------------------------------------
@@ -194,11 +198,11 @@ class LinkFaultState:
         """Apply active faults to one delivery (called by Link.deliver)."""
         is_data = pkt.kind == PacketKind.DATA
         if self.down:
-            self._count_drop(is_data)
+            self._count_drop(pkt.kind)
             return
         if is_data:
             if self.data_loss > 0.0 and self.rng.random() < self.data_loss:
-                self._count_drop(True)
+                self._count_drop(PacketKind.DATA)
                 return
             if self.corrupt_rate > 0.0 and self.rng.random() < self.corrupt_rate:
                 pkt.corrupted = True
@@ -206,7 +210,7 @@ class LinkFaultState:
                 if self.stats is not None:
                     self.stats.record_fault_corruption()
         elif self.ctrl_loss > 0.0 and self.rng.random() < self.ctrl_loss:
-            self._count_drop(False)
+            self._count_drop(pkt.kind)
             return
         delay = self.link.delay + self.extra_delay
         if self.guard_arrivals:
@@ -217,17 +221,19 @@ class LinkFaultState:
     def _arrive(self, pkt: "Packet", peer: "Node", peer_port: int) -> None:
         """Arrival guard: a drop-mode outage kills packets in flight."""
         if self.down:
-            self._count_drop(pkt.kind == PacketKind.DATA)
+            self._count_drop(pkt.kind)
             return
         peer.receive(pkt, peer_port)
 
-    def _count_drop(self, is_data: bool) -> None:
-        if is_data:
+    def _count_drop(self, kind: PacketKind) -> None:
+        if kind == PacketKind.DATA:
             self.injected_drops_data += 1
         else:
             self.injected_drops_ctrl += 1
+            if kind == PacketKind.CREDIT:
+                self.injected_drops_credit += 1
         if self.stats is not None:
-            self.stats.record_fault_drop(is_data)
+            self.stats.record_fault_drop(kind == PacketKind.DATA)
 
 
 class FaultInjector:

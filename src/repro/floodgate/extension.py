@@ -60,6 +60,8 @@ class FloodgateExtension(SwitchExtension):
         self._syn_task: Optional[PeriodicTask] = None
         self.syn_sent = 0
         self.dst_pauses_sent = 0
+        #: CREDIT frames this switch consumed (sanitizer credit ledger)
+        self.credit_frames_rx = 0
 
     def telemetry_counters(self) -> Dict[str, int]:
         """Credit + VOQ counters for :mod:`repro.telemetry` harvesting."""
@@ -200,6 +202,7 @@ class FloodgateExtension(SwitchExtension):
 
     def handle_control(self, pkt: Packet, in_port: int) -> bool:
         if pkt.kind == PacketKind.CREDIT:
+            self.credit_frames_rx += 1
             for dst, count in pkt.credits or ():
                 if self.config.loss_recovery and pkt.last_psn >= 0:
                     self.windows.reconcile(in_port, dst, pkt.last_psn, self.sim.now)
@@ -285,7 +288,7 @@ class FloodgateExtension(SwitchExtension):
             return
         if self.pool.dst_backlog(dst) >= self.config.thre_on_bytes:
             return
-        for src in paused:
+        for src in sorted(paused):
             src_port = self.switch.connected_hosts.get(src)
             if src_port is None:
                 continue

@@ -145,7 +145,7 @@ class VoqPool:
         else:
             self.bytes_by_dst.pop(pkt.dst, None)
         if not voq.packets:
-            for dst in voq.dsts:
+            for dst in sorted(voq.dsts):
                 self.voq_of_dst.pop(dst, None)
             voq.reset()
         return pkt

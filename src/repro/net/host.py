@@ -62,6 +62,11 @@ class Host(Node):
         self.active_flows: Set[int] = set()
         self.rx_data_bytes = 0
         self.tx_data_bytes = 0
+        self.rx_data_packets = 0
+        self.tx_data_packets = 0
+        #: optional SimSanitizer back-reference (repro.simcheck); None
+        #: on unsanitized runs, so control paths pay one is-None check
+        self.sanitizer = None
         #: emit DCQCN CNPs on marked arrivals (off for DCTCP-style CC,
         #: which reads the ECN echo on ACKs instead)
         self.cnp_enabled = True
@@ -130,6 +135,7 @@ class Host(Node):
         self._stamp_packet(pkt, flow)
         flow.next_seq = seq + 1
         self.tx_data_bytes += size
+        self.tx_data_packets += 1
         self.ports[0].enqueue(pkt, 1)
         on_data_sent = getattr(self.cc, "on_data_sent", None)
         if on_data_sent is not None:
@@ -170,19 +176,34 @@ class Host(Node):
             if flow is not None and not flow.sender_done:
                 self.cc.on_cnp(flow, self.sim.now)
         elif kind == PacketKind.PFC_PAUSE:
-            self.ports[ingress_port].pause()
+            port = self.ports[ingress_port]
+            if self.sanitizer is not None:
+                self.sanitizer.note_pfc(self, ingress_port, True, port.paused)
+            port.pause()
         elif kind == PacketKind.PFC_RESUME:
-            self.ports[ingress_port].resume()
+            port = self.ports[ingress_port]
+            if self.sanitizer is not None:
+                self.sanitizer.note_pfc(self, ingress_port, False, port.paused)
+            port.resume()
         elif kind == PacketKind.DST_PAUSE:
+            if self.sanitizer is not None:
+                self.sanitizer.note_dst_pause(
+                    self, pkt.pause_dst, True, pkt.pause_dst in self.paused_dsts
+                )
             self.paused_dsts.add(pkt.pause_dst)
         elif kind == PacketKind.DST_RESUME:
+            if self.sanitizer is not None:
+                self.sanitizer.note_dst_pause(
+                    self, pkt.pause_dst, False, pkt.pause_dst in self.paused_dsts
+                )
             self.paused_dsts.discard(pkt.pause_dst)
-            for flow_id in self.active_flows:
+            for flow_id in sorted(self.active_flows):
                 flow = self.flow_table[flow_id]
                 if flow.dst == pkt.pause_dst and not flow.sender_done:
                     self._kick(flow)
 
     def _receive_data(self, pkt: Packet) -> None:
+        self.rx_data_packets += 1
         flow = self.flow_table.get(pkt.flow_id)
         if flow is None:
             return  # stale packet from a flow we never learned about

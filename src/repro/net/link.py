@@ -17,6 +17,7 @@ from __future__ import annotations
 import random
 from typing import TYPE_CHECKING, Optional
 
+from repro.net.packet import PacketKind
 from repro.sim.engine import Simulator
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -43,6 +44,8 @@ class Link:
         "loss_rate",
         "_loss_rng",
         "dropped_packets",
+        "dropped_data_packets",
+        "dropped_credit_packets",
         "fault",
     )
 
@@ -65,6 +68,10 @@ class Link:
         self.loss_rate: float = 0.0
         self._loss_rng: Optional[random.Random] = None
         self.dropped_packets: int = 0
+        #: kind-split Bernoulli drop counters, so the sanitizer's
+        #: conservation ledgers balance on lossy runs
+        self.dropped_data_packets: int = 0
+        self.dropped_credit_packets: int = 0
         #: scheduled-fault state (see repro.faults); None on healthy links
         self.fault: Optional["LinkFaultState"] = None
 
@@ -92,6 +99,10 @@ class Link:
         if self.loss_rate > 0.0 and self._loss_rng is not None:
             if self._loss_rng.random() < self.loss_rate:
                 self.dropped_packets += 1
+                if pkt.kind == PacketKind.DATA:
+                    self.dropped_data_packets += 1
+                elif pkt.kind == PacketKind.CREDIT:
+                    self.dropped_credit_packets += 1
                 return
         peer = self.peer_of(sender)
         peer_port = self.peer_port_of(sender)

@@ -113,6 +113,12 @@ class Switch(Node):
         #: this switch doesn't run).  Counted so fault experiments can
         #: tell injected control loss from unclaimed-frame discard.
         self.unclaimed_control_frames = 0
+        #: subset of the above that were Floodgate CREDIT frames, so the
+        #: sanitizer can balance the credit conservation ledger
+        self.unclaimed_credit_frames = 0
+        #: optional SimSanitizer back-reference (repro.simcheck); None
+        #: on unsanitized runs, so control paths pay one is-None check
+        self.sanitizer = None
         #: per-port occupancy (egress queues + extension VOQ bytes)
         self._port_bytes: List[int] = []
         self.port_max_bytes: List[int] = []
@@ -174,10 +180,16 @@ class Switch(Node):
             self.tracer.record(self.sim.now, self.name, "rx", pkt)
         kind = pkt.kind
         if kind == PacketKind.PFC_PAUSE:
-            self.ports[ingress_port].pause()
+            port = self.ports[ingress_port]
+            if self.sanitizer is not None:
+                self.sanitizer.note_pfc(self, ingress_port, True, port.paused)
+            port.pause()
             return
         if kind == PacketKind.PFC_RESUME:
-            self.ports[ingress_port].resume()
+            port = self.ports[ingress_port]
+            if self.sanitizer is not None:
+                self.sanitizer.note_pfc(self, ingress_port, False, port.paused)
+            port.resume()
             return
         if pkt.is_control():
             if self.extension is not None and self.extension.handle_control(
@@ -187,6 +199,8 @@ class Switch(Node):
             # unclaimed: no extension owns this frame — count and trace
             # the discard instead of losing it silently
             self.unclaimed_control_frames += 1
+            if kind == PacketKind.CREDIT:
+                self.unclaimed_credit_frames += 1
             if self.stats is not None:
                 self.stats.record_unclaimed_control()
             if self.tracer is not None:

@@ -207,7 +207,7 @@ class Simulator:
         self._stopped = False
         heap = self._heap
         pop = heapq.heappop
-        perf = time.perf_counter
+        perf = time.perf_counter  # simcheck: ignore[SIM002] -- profiled loop times callbacks by design
         executed = self._events_executed
         run_start = perf()
         try:
@@ -253,6 +253,18 @@ class Simulator:
     def pending_events(self) -> int:
         """Events still in the heap, including lazily-cancelled ones."""
         return len(self._heap)
+
+    def pending_items(self) -> list:
+        """Snapshot of live heap entries as ``(time, fn, args)`` tuples.
+
+        Read-only introspection for the runtime sanitizer's in-flight
+        walk; cancelled entries are filtered out but left in the heap.
+        """
+        return [
+            (item[0], item[3], item[4])
+            for item in self._heap
+            if item[2] is None or not item[2].cancelled
+        ]
 
     def peek_next_time(self) -> Optional[int]:
         """Timestamp of the next live event, or ``None`` if drained.

@@ -1,0 +1,187 @@
+"""Determinism harness: event-stream digests and same-seed comparison.
+
+``EventStreamDigest`` plugs into the engine's profiler slot (the same
+interface as :class:`repro.telemetry.profile.EngineProfiler`) and
+folds every executed event — its integer-ns timestamp, callback
+qualname, and heap depth — into a SHA-256.  Two runs with the same
+``(config, seed)`` must produce byte-identical digests; any hidden
+source of nondeterminism (hash-ordered iteration, wall-clock leakage,
+ad-hoc RNGs) shows up as a digest mismatch long before it shows up as
+a wrong figure.
+
+The module-level harness functions run a scenario twice per scheme and
+also compare serial vs pooled sweep summaries
+(:meth:`ResultSummary.canonical_bytes`), covering the result cache's
+assumption that worker processes reproduce in-process runs exactly.
+
+Experiment modules are imported lazily inside the functions so that
+``repro.simcheck`` stays importable from :mod:`repro.experiments`
+without a cycle.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+#: scheme label -> ScenarioConfig.flow_control value, the four schemes
+#: the acceptance criteria name (DCQCN runs with no switch assistance)
+SCHEMES: Tuple[Tuple[str, str], ...] = (
+    ("dcqcn", "none"),
+    ("floodgate", "floodgate"),
+    ("bfc", "bfc"),
+    ("ndp", "ndp"),
+)
+
+
+class EventStreamDigest:
+    """Profiler-slot instrument hashing the executed event stream.
+
+    Satisfies the engine's profiler contract (``note`` + a
+    ``wall_seconds`` accumulator) but ignores wall durations entirely:
+    only simulated time, callback identity, and heap depth — all
+    deterministic quantities — enter the hash.
+    """
+
+    __slots__ = ("_sim", "_sha", "events", "wall_seconds")
+
+    def __init__(self, sim) -> None:
+        self._sim = sim
+        self._sha = hashlib.sha256()
+        self.events = 0
+        self.wall_seconds = 0.0
+
+    def note(self, fn, dt: float, heap_depth: int) -> None:
+        self.events += 1
+        name = getattr(fn, "__qualname__", repr(fn))
+        self._sha.update(b"%d|%d|" % (self._sim.now, heap_depth))
+        self._sha.update(name.encode())
+
+    def hexdigest(self) -> str:
+        return self._sha.hexdigest()
+
+
+@dataclass(frozen=True)
+class RunDigest:
+    """One run's identity: event stream + summarized results."""
+
+    event_digest: str
+    summary_digest: str
+    events: int
+    sim_time: int
+    violations: Tuple[str, ...]
+
+
+def run_digest(config) -> RunDigest:
+    """Build and run ``config`` once, digesting its event stream."""
+    from repro.experiments.parallel import summarize
+    from repro.experiments.runner import run_scenario
+    from repro.experiments.scenario import Scenario
+
+    sc = Scenario(config)
+    digest = EventStreamDigest(sc.sim)
+    sc.sim.set_profiler(digest)
+    result = run_scenario(config, scenario=sc)
+    summary = summarize(result)
+    return RunDigest(
+        event_digest=digest.hexdigest(),
+        summary_digest=hashlib.sha256(summary.canonical_bytes()).hexdigest(),
+        events=digest.events,
+        sim_time=result.sim_time,
+        violations=tuple(result.sanitizer_violations),
+    )
+
+
+def check_repeatable(config, runs: int = 2) -> Dict[str, object]:
+    """Run ``config`` ``runs`` times; digests must be byte-identical."""
+    digests = [run_digest(config) for _ in range(runs)]
+    event_ok = len({d.event_digest for d in digests}) == 1
+    summary_ok = len({d.summary_digest for d in digests}) == 1
+    return {
+        "ok": event_ok and summary_ok,
+        "event_digests": [d.event_digest for d in digests],
+        "summary_digests": [d.summary_digest for d in digests],
+        "events": digests[0].events,
+        "violations": sorted({v for d in digests for v in d.violations}),
+    }
+
+
+def check_pool_equivalence(configs: Dict[str, object]) -> Dict[str, object]:
+    """Serial vs pooled sweep summaries must serialize identically."""
+    from repro.experiments.parallel import SweepTask, run_sweep
+
+    tasks = [SweepTask(key=key, config=cfg) for key, cfg in sorted(configs.items())]
+    serial = run_sweep(tasks, cache=False, serial=True)
+    pooled = run_sweep(tasks, cache=False, serial=False)
+    mismatched = [
+        key
+        for key in sorted(configs)
+        if serial[key].canonical_bytes() != pooled[key].canonical_bytes()
+    ]
+    return {"ok": not mismatched, "mismatched": mismatched}
+
+
+def _scheme_config(flow_control: str, seed: int, sanitize):
+    """A small, fast scenario exercising the full stack of one scheme."""
+    from repro.experiments.scenario import ScenarioConfig
+    from repro.units import ms
+
+    return ScenarioConfig(
+        flow_control=flow_control,
+        n_tors=3,
+        hosts_per_tor=4,
+        duration=ms(1),
+        seed=seed,
+        sanitize=sanitize,
+    )
+
+
+def run_suite(
+    seed: int = 1,
+    schemes: Optional[List[str]] = None,
+    check_interval: Optional[int] = None,
+) -> Dict[str, object]:
+    """The full runtime battery behind ``repro.cli check --sanitize``.
+
+    Per scheme: a sanitized double run (digests must match, zero
+    invariant violations); then one serial-vs-pooled sweep comparison
+    across all schemes (unsanitized configs so worker pickling stays
+    on the default path).
+    """
+    from repro.simcheck.sanitizer import SanitizerConfig
+
+    wanted = dict(SCHEMES)
+    if schemes:
+        unknown = [s for s in schemes if s not in wanted]
+        if unknown:
+            raise ValueError(
+                f"unknown scheme(s) {unknown}; choose from {sorted(wanted)}"
+            )
+        selected = {name: wanted[name] for name in schemes}
+    else:
+        selected = wanted
+    sanitize = (
+        SanitizerConfig(check_interval=check_interval)
+        if check_interval
+        else SanitizerConfig()
+    )
+    report: Dict[str, object] = {"schemes": {}, "ok": True}
+    for name, fc in selected.items():
+        rep = check_repeatable(_scheme_config(fc, seed, sanitize))
+        scheme_ok = bool(rep["ok"]) and not rep["violations"]
+        report["schemes"][name] = {
+            "digest": rep["event_digests"][0],
+            "repeat_identical": rep["ok"],
+            "events": rep["events"],
+            "violations": rep["violations"],
+            "ok": scheme_ok,
+        }
+        report["ok"] = report["ok"] and scheme_ok
+    pool = check_pool_equivalence(
+        {name: _scheme_config(fc, seed, None) for name, fc in selected.items()}
+    )
+    report["pool_identical"] = pool["ok"]
+    report["pool_mismatched"] = pool["mismatched"]
+    report["ok"] = report["ok"] and bool(pool["ok"])
+    return report

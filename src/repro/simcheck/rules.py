@@ -1,0 +1,305 @@
+"""AST rules for the simcheck determinism linter.
+
+Each rule flags a construct that can make a simulation run depend on
+something other than ``(config, seed)``:
+
+SIM001
+    Direct ``random.Random(...)`` construction or module-level
+    ``random.*`` calls inside ``src/repro`` (outside ``sim/rng.py``).
+    All randomness must come from named :class:`~repro.sim.rng.RngRegistry`
+    streams so serial, pooled and cached runs draw identically.
+SIM002
+    Wall-clock reads (``time.time``, ``time.perf_counter``,
+    ``time.monotonic``, ``datetime.now``, ...) outside ``benchmarks/``
+    and ``telemetry/profile.py``.  Wall time must never leak into
+    simulated state.
+SIM003
+    Iteration over set-typed simulator state (``paused_dsts``,
+    ``paused_queues``, ``paused_upstreams``, ``fids``, ...) in
+    ``net/``, ``floodgate/`` or ``baselines/``.  Set order is
+    hash-dependent; when the loop body schedules events, the event
+    order — and therefore the whole run — inherits that order.
+    Wrap the iterable in ``sorted(...)``.
+SIM004
+    Float-valued delays/timestamps passed to ``Engine.schedule*``.
+    The clock is integer nanoseconds; floats make event ordering
+    platform- and rounding-dependent.  Wrap in ``int(...)`` or
+    ``round(...)``.
+
+Suppression: append ``# simcheck: ignore[SIM00X] -- reason`` to the
+flagged line, or add a ``RULE path-glob -- justification`` line to the
+repo-root ``simcheck-allowlist.txt``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterable, List
+
+#: rule id -> one-line description (shown by ``repro.cli check --rules``)
+RULES = {
+    "SIM000": "file does not parse (syntax error)",
+    "SIM001": (
+        "direct random.* construction/call outside sim/rng.py "
+        "(draw from an RngRegistry stream instead)"
+    ),
+    "SIM002": (
+        "wall-clock read outside benchmarks/ and telemetry/profile.py "
+        "(simulated state must not see wall time)"
+    ),
+    "SIM003": (
+        "iteration over set-typed simulator state "
+        "(hash order can leak into event scheduling; wrap in sorted())"
+    ),
+    "SIM004": (
+        "float-valued delay/timestamp passed to Engine.schedule* "
+        "(the clock is integer ns; wrap in int()/round())"
+    ),
+}
+
+#: ``time.<attr>`` reads that observe the wall clock
+WALL_CLOCK_TIME_ATTRS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+    }
+)
+
+#: ``datetime.<attr>`` / ``date.<attr>`` constructors that observe it
+WALL_CLOCK_DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
+
+#: attribute names of set-typed simulator state whose iteration order
+#: can reach ``schedule()`` (see net/, floodgate/, baselines/)
+SET_STATE_NAMES = frozenset(
+    {
+        "active_flows",
+        "dsts",
+        "fids",
+        "paused",
+        "paused_dsts",
+        "paused_queues",
+        "paused_sources",
+        "paused_upstreams",
+    }
+)
+
+#: Simulator scheduling entry points whose first argument is a time
+SCHEDULE_METHODS = frozenset(
+    {"schedule", "schedule_at", "schedule_call", "schedule_call_at"}
+)
+
+#: call wrappers that preserve the order of the underlying iterable
+#: (so iterating through them is still hash-order iteration)
+_ORDER_PRESERVING_WRAPPERS = frozenset(
+    {"list", "tuple", "iter", "set", "frozenset", "reversed", "enumerate"}
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One linter hit: rule, location, human-readable message."""
+
+    rule: str
+    path: str  # posix-style path relative to the repo root
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+def _unwrap_order_preserving(node: ast.expr) -> ast.expr:
+    """Strip ``list(...)``/``iter(...)``-style wrappers off an iterable.
+
+    ``sorted(...)`` is deliberately *not* stripped: it fixes the order,
+    which is exactly what SIM003 asks for.
+    """
+    while (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _ORDER_PRESERVING_WRAPPERS
+        and node.args
+    ):
+        node = node.args[0]
+    return node
+
+
+def _set_state_name(node: ast.expr) -> str | None:
+    """Name of the set-typed state attribute iterated over, if any."""
+    node = _unwrap_order_preserving(node)
+    if isinstance(node, ast.Attribute) and node.attr in SET_STATE_NAMES:
+        return node.attr
+    if isinstance(node, ast.Name) and node.id in SET_STATE_NAMES:
+        return node.id
+    return None
+
+
+def _is_floatish(node: ast.expr) -> bool:
+    """Conservative: does this expression obviously produce a float?
+
+    ``int(...)``/``round(...)`` wrappers and plain integer arithmetic
+    are clean; literal floats, true division and ``float(...)`` are
+    flagged.
+    """
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name):
+            if node.func.id in ("int", "round"):
+                return False
+            if node.func.id == "float":
+                return True
+        return False
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, ast.Div):
+            return True
+        return _is_floatish(node.left) or _is_floatish(node.right)
+    if isinstance(node, ast.UnaryOp):
+        return _is_floatish(node.operand)
+    if isinstance(node, ast.IfExp):
+        return _is_floatish(node.body) or _is_floatish(node.orelse)
+    return False
+
+
+class _RuleVisitor(ast.NodeVisitor):
+    """Single-pass visitor producing raw findings for the enabled rules."""
+
+    def __init__(self, relpath: str, enabled: frozenset) -> None:
+        self.relpath = relpath
+        self.enabled = enabled
+        self.findings: List[Finding] = []
+
+    def _add(self, rule: str, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            Finding(rule, self.relpath, node.lineno, node.col_offset, message)
+        )
+
+    # -- SIM001 / SIM002: imports that smuggle the primitives in ---------
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random" and "SIM001" in self.enabled:
+            names = ", ".join(a.name for a in node.names)
+            self._add(
+                "SIM001",
+                node,
+                f"`from random import {names}` bypasses RngRegistry",
+            )
+        if node.module == "time" and "SIM002" in self.enabled:
+            clocky = [a.name for a in node.names if a.name in WALL_CLOCK_TIME_ATTRS]
+            if clocky:
+                self._add(
+                    "SIM002",
+                    node,
+                    f"`from time import {', '.join(clocky)}` imports a wall clock",
+                )
+        self.generic_visit(node)
+
+    # -- SIM001: module-level random.* calls -----------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            "SIM001" in self.enabled
+            and isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "random"
+        ):
+            self._add(
+                "SIM001",
+                node,
+                f"random.{func.attr}(...) must come from an RngRegistry stream",
+            )
+        if "SIM004" in self.enabled and isinstance(func, ast.Attribute):
+            if func.attr in SCHEDULE_METHODS and node.args:
+                if _is_floatish(node.args[0]):
+                    self._add(
+                        "SIM004",
+                        node,
+                        f"float-valued time passed to .{func.attr}(); "
+                        "the clock is integer ns — wrap in int()/round()",
+                    )
+        self.generic_visit(node)
+
+    # -- SIM002: wall-clock attribute reads -------------------------------
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if "SIM002" in self.enabled:
+            value = node.value
+            if (
+                isinstance(value, ast.Name)
+                and value.id == "time"
+                and node.attr in WALL_CLOCK_TIME_ATTRS
+            ):
+                self._add("SIM002", node, f"time.{node.attr} reads the wall clock")
+            elif node.attr in WALL_CLOCK_DATETIME_ATTRS and (
+                (isinstance(value, ast.Name) and value.id in ("datetime", "date"))
+                or (
+                    isinstance(value, ast.Attribute)
+                    and value.attr in ("datetime", "date")
+                )
+            ):
+                self._add(
+                    "SIM002",
+                    node,
+                    f"datetime.{node.attr} reads the wall clock",
+                )
+        self.generic_visit(node)
+
+    # -- SIM003: set iteration --------------------------------------------
+    def _check_iter(self, iter_node: ast.expr) -> None:
+        name = _set_state_name(iter_node)
+        if name is not None:
+            self._add(
+                "SIM003",
+                iter_node,
+                f"iteration over set-typed `{name}` is hash-ordered; "
+                "wrap in sorted() so event order cannot depend on it",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        if "SIM003" in self.enabled:
+            self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node) -> None:
+        if "SIM003" in self.enabled:
+            for gen in node.generators:
+                self._check_iter(gen.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+
+
+def scan_source(
+    source: str, relpath: str, enabled: Iterable[str]
+) -> List[Finding]:
+    """Run the enabled rules over one file's source.
+
+    Returns raw findings; inline-suppression and allowlist filtering
+    happen in :mod:`repro.simcheck.linter`.
+    """
+    enabled = frozenset(enabled)
+    try:
+        tree = ast.parse(source, filename=relpath)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                "SIM000",
+                relpath,
+                exc.lineno or 1,
+                exc.offset or 0,
+                f"syntax error: {exc.msg}",
+            )
+        ]
+    visitor = _RuleVisitor(relpath, enabled)
+    visitor.visit(tree)
+    visitor.findings.sort(key=lambda f: (f.line, f.col, f.rule))
+    return visitor.findings

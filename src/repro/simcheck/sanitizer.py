@@ -1,0 +1,325 @@
+"""Runtime invariant sanitizer: conservation checks for live runs.
+
+``SimSanitizer`` is the opt-in runtime half of :mod:`repro.simcheck`.
+It follows the faults/telemetry discipline — hot paths pay nothing
+when it is off (the counters it reads are unconditional integer
+increments that exist anyway; the rare control branches pay one
+``sanitizer is None`` check) — and verifies, periodically during a
+run and again at the end:
+
+1. **Packet conservation** — DATA packets injected by hosts equal
+   packets delivered + dropped (switch admission, link loss, injected
+   faults) + trimmed (NDP) + still in flight (egress queues, VOQs,
+   the event heap).
+2. **Buffer consistency** — each switch's shared-buffer occupancy
+   equals the sum of its per-ingress charges *and* the sum of its
+   per-port occupancy, never negative, never above capacity.
+3. **Pause/resume pairing** — PFC PAUSE/RESUME per port, and
+   Floodgate's per-dst pause per (host, dst), strictly alternate.
+   (BFC's queue-level pauses are exempt: two switch queues may
+   legitimately pause the same upstream queue.)
+4. **Theorem-1 bound** — no Floodgate per-dst window goes negative
+   (in-flight beyond the VOQ window) or above its initial value,
+   except after a forced overflow bypass, which the paper's bound
+   explicitly excludes.
+5. **Credit conservation** — Floodgate credit frames sent equal
+   frames applied upstream + unclaimed + dropped + in flight.
+
+Violations are collected (with sim timestamps) rather than raised,
+unless ``strict=True``.  Enable per run via
+``ScenarioConfig(sanitize=SanitizerConfig())`` or the CLI's
+``check --sanitize``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.net.packet import Packet, PacketKind
+from repro.sim.process import PeriodicTask
+from repro.units import us
+
+
+class SanitizerError(AssertionError):
+    """Raised at the point of violation when ``strict`` is set."""
+
+
+@dataclass(frozen=True)
+class SanitizerConfig:
+    """Knobs for :class:`SimSanitizer` (frozen: hashes into cache keys)."""
+
+    #: ns between periodic invariant sweeps during the run
+    check_interval: int = us(100)
+    #: raise :class:`SanitizerError` at the first violation instead of
+    #: collecting messages
+    strict: bool = False
+    #: cap on collected messages (a broken invariant re-detected every
+    #: sweep would otherwise flood the report)
+    max_violations: int = 100
+
+
+class SimSanitizer:
+    """Invariant checker wired onto one built :class:`Scenario`."""
+
+    def __init__(self, scenario, config: Optional[SanitizerConfig] = None) -> None:
+        self.scenario = scenario
+        self.config = config or SanitizerConfig()
+        self.sim = scenario.sim
+        self.topology = scenario.topology
+        self.violations: List[str] = []
+        #: messages dropped once ``max_violations`` was reached
+        self.truncated = 0
+        self.checks_run = 0
+        #: lazily resolved: pause/resume pairing assumes lossless
+        #: control delivery, so lossy/faulted links switch it off
+        self._pairing: Optional[bool] = None
+        self._task = PeriodicTask(
+            self.sim, self.config.check_interval, self.check_now
+        )
+        # rare-path hooks: pause/resume pairing is event-driven, so the
+        # nodes get a back-reference (None on unsanitized runs)
+        for node in (*self.topology.hosts, *self.topology.switches):
+            node.sanitizer = self
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        self._task.start()
+
+    def stop(self) -> None:
+        self._task.stop()
+
+    # -- violation plumbing ------------------------------------------------
+
+    def record(self, message: str) -> None:
+        message = f"t={self.sim.now}ns: {message}"
+        if self.config.strict:
+            raise SanitizerError(message)
+        if len(self.violations) < self.config.max_violations:
+            self.violations.append(message)
+        else:
+            self.truncated += 1
+
+    # -- event-driven pairing hooks (called from rare control branches) ----
+
+    def _pairing_applicable(self) -> bool:
+        """Pairing is only sound when control frames cannot be lost.
+
+        Resolved at the first pause/resume event (loss/fault config is
+        final by then): a dropped PAUSE would make the later RESUME
+        look unmatched, which is loss, not a protocol bug.
+        """
+        if self._pairing is None:
+            self._pairing = not any(
+                link.loss_rate > 0.0 or link.fault is not None
+                for link in self.topology.links
+            )
+        return self._pairing
+
+    def note_pfc(self, node, port_index: int, pause: bool, was_paused: bool) -> None:
+        """A PFC PAUSE/RESUME frame reached ``node`` on ``port_index``."""
+        if not self._pairing_applicable():
+            return
+        if pause and was_paused:
+            self.record(
+                f"double PFC PAUSE at {node.name} port {port_index} "
+                "(already paused; pauses must strictly alternate with resumes)"
+            )
+        elif not pause and not was_paused:
+            self.record(
+                f"PFC RESUME without matching PAUSE at {node.name} "
+                f"port {port_index}"
+            )
+
+    def note_dst_pause(self, host, dst: int, pause: bool, was_paused: bool) -> None:
+        """A Floodgate dstPause/dstResume frame reached ``host``."""
+        if not self._pairing_applicable():
+            return
+        if pause and was_paused:
+            self.record(
+                f"double dstPause at {host.name} for dst {dst} "
+                "(ToR must not re-pause an already-paused source)"
+            )
+        elif not pause and not was_paused:
+            self.record(
+                f"dstResume without matching dstPause at {host.name} "
+                f"for dst {dst}"
+            )
+
+    # -- in-flight walk ----------------------------------------------------
+
+    def _inflight(self) -> Tuple[int, int]:
+        """(DATA, CREDIT) packets at rest anywhere in the system.
+
+        Pure read-only walk: egress queues, extension VOQs, and live
+        heap entries whose args carry a packet (propagation and
+        serialization events).
+        """
+        data = credit = 0
+        kinds = PacketKind
+        for node in (*self.topology.hosts, *self.topology.switches):
+            for port in node.ports:
+                for queue in port.queues:
+                    for pkt in queue:
+                        if pkt.kind == kinds.DATA:
+                            data += 1
+                        elif pkt.kind == kinds.CREDIT:
+                            credit += 1
+        for ext in self.scenario.extensions:
+            pool = getattr(ext, "pool", None)
+            if pool is None:
+                continue
+            for voq in pool.voqs:
+                for pkt in voq.packets:
+                    if pkt.kind == kinds.DATA:
+                        data += 1
+                    elif pkt.kind == kinds.CREDIT:
+                        credit += 1
+        for _time, _fn, args in self.sim.pending_items():
+            for arg in args:
+                if isinstance(arg, Packet):
+                    if arg.kind == kinds.DATA:
+                        data += 1
+                    elif arg.kind == kinds.CREDIT:
+                        credit += 1
+        return data, credit
+
+    # -- the invariant sweeps ----------------------------------------------
+
+    def check_now(self) -> None:
+        """Run every pull-based invariant against current state."""
+        self.checks_run += 1
+        inflight_data, inflight_credit = self._inflight()
+        self._check_data_conservation(inflight_data)
+        self._check_buffers()
+        self._check_windows()
+        self._check_credits(inflight_credit)
+
+    def final_check(self) -> None:
+        """End-of-run sweep (the periodic task must be stopped first)."""
+        self.stop()
+        self.check_now()
+
+    def _check_data_conservation(self, inflight: int) -> None:
+        topo = self.topology
+        injected = sum(h.tx_data_packets for h in topo.hosts)
+        delivered = sum(h.rx_data_packets for h in topo.hosts)
+        dropped = sum(sw.dropped_packets for sw in topo.switches)
+        link_dropped = fault_dropped = 0
+        for link in topo.links:
+            link_dropped += link.dropped_data_packets
+            if link.fault is not None:
+                fault_dropped += link.fault.injected_drops_data
+        trimmed = sum(
+            getattr(ext, "trimmed_packets", 0) for ext in self.scenario.extensions
+        )
+        accounted = delivered + dropped + link_dropped + fault_dropped + trimmed
+        if injected != accounted + inflight:
+            self.record(
+                "DATA packet conservation broken: "
+                f"injected={injected} != delivered={delivered} "
+                f"+ switch-dropped={dropped} + link-dropped={link_dropped} "
+                f"+ fault-dropped={fault_dropped} + trimmed={trimmed} "
+                f"+ in-flight={inflight} (= {accounted + inflight}, "
+                f"off by {injected - accounted - inflight})"
+            )
+
+    def _check_buffers(self) -> None:
+        for sw in self.topology.switches:
+            buf = sw.buffer
+            if buf is None:
+                continue
+            name = sw.name
+            if buf.used < 0:
+                self.record(f"{name}: shared-buffer occupancy negative ({buf.used})")
+            if buf.used > buf.capacity:
+                self.record(
+                    f"{name}: shared-buffer occupancy {buf.used} exceeds "
+                    f"capacity {buf.capacity}"
+                )
+            negative = [i for i, b in enumerate(buf.ingress_bytes) if b < 0]
+            if negative:
+                self.record(
+                    f"{name}: negative per-ingress buffer charge on "
+                    f"port(s) {negative}"
+                )
+            ingress_total = sum(buf.ingress_bytes)
+            if buf.used != ingress_total:
+                self.record(
+                    f"{name}: shared-buffer occupancy {buf.used} != "
+                    f"sum of per-ingress charges {ingress_total}"
+                )
+            port_total = sum(sw._port_bytes)
+            if buf.used != port_total:
+                self.record(
+                    f"{name}: shared-buffer occupancy {buf.used} != "
+                    f"sum of per-port occupancy {port_total}"
+                )
+
+    def _check_windows(self) -> None:
+        for ext in self.scenario.extensions:
+            windows = getattr(ext, "windows", None)
+            if windows is None:
+                continue
+            pool = getattr(ext, "pool", None)
+            if pool is not None and pool.overflow_bypasses:
+                # forced bypasses send without consuming window; the
+                # Theorem-1 bound explicitly excludes them
+                continue
+            name = ext.switch.name
+            for dst in sorted(windows.window):
+                win = windows.window[dst]
+                init = windows.initial.get(dst, win)
+                if win < 0:
+                    self.record(
+                        f"{name}: per-dst in-flight exceeds the VOQ window "
+                        f"for dst {dst} (window={win} < 0, initial={init}; "
+                        "Theorem-1 bound violated)"
+                    )
+                elif win > init:
+                    self.record(
+                        f"{name}: window overshoot for dst {dst} "
+                        f"(window={win} > initial={init}: more credits "
+                        "returned than packets sent)"
+                    )
+
+    def _check_credits(self, inflight: int) -> None:
+        sent = applied = 0
+        have_floodgate = False
+        for ext in self.scenario.extensions:
+            credits = getattr(ext, "credits", None)
+            if credits is None:
+                continue
+            have_floodgate = True
+            sent += credits.credits_sent
+            applied += ext.credit_frames_rx
+        if not have_floodgate:
+            return
+        unclaimed = sum(
+            sw.unclaimed_credit_frames for sw in self.topology.switches
+        )
+        dropped = 0
+        for link in self.topology.links:
+            dropped += link.dropped_credit_packets
+            if link.fault is not None:
+                dropped += link.fault.injected_drops_credit
+        accounted = applied + unclaimed + dropped + inflight
+        if sent != accounted:
+            self.record(
+                "credit conservation broken: "
+                f"generated={sent} != applied={applied} "
+                f"+ unclaimed={unclaimed} + dropped={dropped} "
+                f"+ in-flight={inflight} (= {accounted}, "
+                f"off by {sent - accounted})"
+            )
+
+    # -- reporting ----------------------------------------------------------
+
+    def summary(self) -> Dict[str, int]:
+        """Picklable counters for experiment plumbing."""
+        return {
+            "checks_run": self.checks_run,
+            "violations": len(self.violations),
+            "violations_truncated": self.truncated,
+        }

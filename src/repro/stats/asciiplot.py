@@ -36,7 +36,7 @@ def line_chart(
     if y_max == y_min:
         y_max = y_min + 1.0
     grid = [[" "] * width for _ in range(height)]
-    for glyph, (name, data) in zip(GLYPHS, series.items()):
+    for glyph, (name, data) in zip(GLYPHS, series.items(), strict=False):
         for x, y in data:
             col = int((x - x_min) / (x_max - x_min) * (width - 1))
             row = int((y - y_min) / (y_max - y_min) * (height - 1))
@@ -50,7 +50,7 @@ def line_chart(
         " " * 12 + f"{x_min:<12.3f}" + x_label.center(width - 24) + f"{x_max:>12.3f}"
     )
     legend = "   ".join(
-        f"{glyph}={name}" for glyph, name in zip(GLYPHS, series)
+        f"{glyph}={name}" for glyph, name in zip(GLYPHS, series, strict=False)
     )
     lines.append(" " * 12 + legend)
     if y_label:

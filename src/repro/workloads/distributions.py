@@ -38,9 +38,9 @@ class FlowSizeDistribution:
             raise ValueError("distribution needs at least one CDF point")
         probs = [p for _, p in points]
         sizes = [s for s, _ in points]
-        if any(b < a for a, b in zip(probs, probs[1:])):
+        if any(b < a for a, b in zip(probs, probs[1:], strict=False)):
             raise ValueError(f"{name}: CDF must be non-decreasing")
-        if any(b < a for a, b in zip(sizes, sizes[1:])):
+        if any(b < a for a, b in zip(sizes, sizes[1:], strict=False)):
             raise ValueError(f"{name}: sizes must be non-decreasing")
         if abs(probs[-1] - 1.0) > 1e-9:
             raise ValueError(f"{name}: CDF must end at 1.0, got {probs[-1]}")
@@ -88,7 +88,7 @@ class FlowSizeDistribution:
         """P(flow size <= size) under the interpolated CDF."""
         if size <= self.points[0][0]:
             return self.points[0][1] if size >= self.points[0][0] else 0.0
-        for (s0, p0), (s1, p1) in zip(self.points, self.points[1:]):
+        for (s0, p0), (s1, p1) in zip(self.points, self.points[1:], strict=False):
             if size <= s1:
                 if s1 == s0:
                     return p1

@@ -49,7 +49,7 @@ class TestPacing:
         f.rate = gbps(1)  # then throttle to 10x slower
         host._kick(f)
         net.run(ms(10))
-        gaps = [b - a for a, b in zip(received, received[1:])]
+        gaps = [b - a for a, b in zip(received, received[1:], strict=False)]
         # at 1 Gbps a 1000 B packet takes 8 us; check the paced tail
         assert gaps and min(gaps[5:]) >= us(7)
 
@@ -67,7 +67,7 @@ class TestPacing:
         dst_host.receive = spy
         net.flow(1, 0, 4, 10_000)
         net.run(ms(5))
-        gaps = [b - a for a, b in zip(received, received[1:])]
+        gaps = [b - a for a, b in zip(received, received[1:], strict=False)]
         # 1000 B at 10 Gbps = 800 ns
         assert gaps and max(gaps) <= us(2)
 
