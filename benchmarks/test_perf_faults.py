@@ -23,7 +23,7 @@ from repro.net.link import Link
 from repro.net.packet import Packet, PacketKind
 from repro.sim.engine import Simulator
 
-BENCH_FILE = pathlib.Path(__file__).parent / "BENCH_faults.json"
+BENCH_FILE = pathlib.Path(__file__).resolve().parents[1] / "BENCH_faults.json"
 
 #: deliveries per timed repeat; large enough to swamp timer resolution
 N_DELIVERIES = 200_000

@@ -27,7 +27,7 @@ from repro.net.packet import Packet, PacketKind
 from repro.sim.engine import Simulator
 from repro.units import gbps, kb
 
-BENCH_FILE = pathlib.Path(__file__).parent / "BENCH_simcheck.json"
+BENCH_FILE = pathlib.Path(__file__).resolve().parents[1] / "BENCH_simcheck.json"
 
 #: PAUSE/RESUME frames per timed repeat; large enough to swamp timer
 #: resolution on the ~100 ns dispatch being measured

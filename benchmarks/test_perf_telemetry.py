@@ -24,7 +24,7 @@ from benchmarks.conftest import show
 
 from repro.sim.engine import Simulator
 
-BENCH_FILE = pathlib.Path(__file__).parent / "BENCH_telemetry.json"
+BENCH_FILE = pathlib.Path(__file__).resolve().parents[1] / "BENCH_telemetry.json"
 
 #: events per timed repeat; large enough to swamp timer resolution
 N_EVENTS = 100_000

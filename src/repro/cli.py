@@ -6,7 +6,8 @@ Usage::
     floodgate-experiment run fig10 [--full]
     floodgate-experiment run tab02
     floodgate-experiment faults [--loss-rates 0.01 0.05] [--schemes floodgate ndp]
-    floodgate-experiment bench [--repeats 3] [--out BENCH_engine.json]
+    floodgate-experiment bench [--scenario quick|incast256|fattree-a2a|all]
+                               [--repeats 3] [--gate] [--out BENCH_engine.json]
     floodgate-experiment report [--scheme floodgate] [--out run.jsonl]
     floodgate-experiment report --from run.jsonl
     floodgate-experiment check [paths ...] [--sanitize] [--rules]
@@ -17,6 +18,7 @@ from __future__ import annotations
 import argparse
 import importlib
 import json
+import os
 import sys
 import time
 from typing import Dict
@@ -185,13 +187,32 @@ def main(argv: list[str] | None = None) -> int:
         help="schemes to compare (default: all four)",
     )
     bench_p = sub.add_parser(
-        "bench", help="run the engine perf benchmark, write BENCH_engine.json"
+        "bench",
+        help="run the engine perf benchmarks, append to BENCH_engine.json",
+    )
+    bench_p.add_argument(
+        "--scenario",
+        nargs="+",
+        default=["quick"],
+        choices=["quick", "incast256", "fattree-a2a", "all"],
+        help="benchmark scenario(s) to run; 'all' runs the full matrix "
+        "(default: quick)",
     )
     bench_p.add_argument(
         "--repeats",
         type=int,
-        default=1,
-        help="timed repetitions; the fastest is reported (default 1)",
+        default=3,
+        help="timed repetitions; the median is reported (default 3)",
+    )
+    bench_p.add_argument(
+        "--gate",
+        nargs="?",
+        type=float,
+        const=0.20,
+        default=None,
+        metavar="FRACTION",
+        help="fail (exit 1) if any scenario regresses more than FRACTION "
+        "below the best same-machine history entry (default 0.20)",
     )
     bench_p.add_argument(
         "--out",
@@ -298,18 +319,46 @@ def main(argv: list[str] | None = None) -> int:
         return _check(args)
 
     if args.command == "bench":
-        from repro.experiments.bench import run_and_write
+        from repro.experiments.bench import (
+            check_gate,
+            load_bench_file,
+            run_and_write,
+            scenario_matrix,
+        )
 
         if args.repeats < 1:
             parser.error(f"--repeats must be >= 1, got {args.repeats}")
-        print("Running engine benchmark ...", file=sys.stderr)
-        result = run_and_write(repeats=args.repeats, path=args.out)
-        _print_result(result)
-        print(
-            f"{result['events_per_sec']:,} events/sec "
-            f"-> {result['output_file']}",
-            file=sys.stderr,
+        names = (
+            list(scenario_matrix())
+            if "all" in args.scenario
+            else list(dict.fromkeys(args.scenario))
         )
+        # gate against the history as it stood *before* this run's
+        # entry was appended, so a regression cannot hide behind itself
+        out = args.out or os.environ.get("REPRO_BENCH_OUT") or "BENCH_engine.json"
+        prior = load_bench_file(out)
+        print(f"Running engine benchmarks: {', '.join(names)} ...", file=sys.stderr)
+        result = run_and_write(
+            repeats=args.repeats, path=args.out, scenarios=names
+        )
+        _print_result(result)
+        for name in names:
+            rec = result[name]
+            print(
+                f"{name}: {rec['events_per_sec']:,} events/sec "
+                f"(median of {rec['repeats']}, stdev {rec['wall_stdev']}s)",
+                file=sys.stderr,
+            )
+        print(f"-> {result['output_file']}", file=sys.stderr)
+        if args.gate is not None:
+            records = {name: result[name] for name in names}
+            ok, messages = check_gate(
+                records, prior, max_regression=args.gate
+            )
+            for msg in messages:
+                print(msg, file=sys.stderr)
+            if not ok:
+                return 1
         return 0
 
     module_name, desc = EXPERIMENTS[args.experiment]

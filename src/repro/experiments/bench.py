@@ -1,25 +1,50 @@
-"""Engine performance benchmark: a fixed-seed incastmix run.
+"""Engine performance benchmarks: a named scenario matrix with history.
 
-One canonical scenario (the quick-scale §6.1 incastmix used by the
-figure benchmarks, seed 1) is run end to end and timed.  The result —
-events executed, wall seconds, events/second — is written to
-``BENCH_engine.json`` so the engine's throughput trajectory is tracked
-PR over PR.  Entry points:
+Three fixed-seed scenarios cover the regimes the engine must stay fast
+in:
 
-* ``floodgate-experiment bench`` (see :mod:`repro.cli`);
-* ``benchmarks/test_perf_engine.py`` (pytest, asserts a throughput
-  floor).
+* ``quick`` — the §6.1 incastmix substrate at bench scale (the
+  canonical record tracked PR over PR; this is what CI gates on);
+* ``incast256`` — a 256-host leaf-spine incast-degree sweep (fan-in
+  64/128/255), the pause/credit-heavy regime where control traffic
+  dominates;
+* ``fattree-a2a`` — a 128-host fat-tree (k=8) under Poisson
+  all-to-all, the multi-hop routing-heavy regime.
+
+Each scenario is timed ``--repeats`` times (default 3) and reported as
+the *median* wall time with its stdev, so one GC pause or noisy
+neighbour cannot fake a regression or an improvement.  Event counts
+are seed-determined and asserted identical across repeats — a repeat
+that executes different events is a determinism bug, not noise.
+
+``BENCH_engine.json`` is a trajectory, not a snapshot: every
+``run_and_write`` appends a history entry (timestamp, machine,
+per-scenario records) and refreshes the ``latest`` block.  The CI
+perf-smoke gate (:func:`check_gate`) compares a fresh run against the
+best *same-machine* history entry and fails on a >20 % events/second
+regression; with no same-machine history it falls back to an absolute
+floor that only catches structural collapses.
+
+Entry points:
+
+* ``floodgate-experiment bench [--scenario ...] [--repeats N] [--gate]``;
+* ``benchmarks/test_perf_engine.py`` (pytest).
 """
 
 from __future__ import annotations
 
 import json
 import os
+import platform
+import statistics
+import time
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Union
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.experiments.runner import run_scenario
 from repro.experiments.scenario import ScenarioConfig
+from repro.units import ms
 
 #: env override for where ``BENCH_engine.json`` lands
 ENV_BENCH_OUT = "REPRO_BENCH_OUT"
@@ -27,9 +52,34 @@ ENV_BENCH_OUT = "REPRO_BENCH_OUT"
 #: default output file (current working directory)
 DEFAULT_BENCH_FILE = "BENCH_engine.json"
 
+#: gate fallback when no same-machine history exists: any hardware
+#: does far better than this; below it something structural broke
+EVENTS_PER_SEC_FLOOR = 40_000
+
+#: the CI gate's default regression budget (fraction of the best
+#: same-machine events/second)
+DEFAULT_MAX_REGRESSION = 0.20
+
+#: history entries kept per (machine, scenario) — enough trajectory to
+#: eyeball trends without the file growing unboundedly
+MAX_HISTORY = 50
+
+
+@dataclass(frozen=True)
+class BenchScenario:
+    """One named benchmark: a description plus its config sequence.
+
+    Multi-config scenarios (the incast-degree sweep) are timed as one
+    unit: a repeat runs every config once, and events/walls are summed.
+    """
+
+    name: str
+    description: str
+    configs: Tuple[ScenarioConfig, ...]
+
 
 def bench_config() -> ScenarioConfig:
-    """The canonical fixed-seed benchmark scenario.
+    """The canonical fixed-seed ``quick`` scenario.
 
     Mirrors ``figures.common.quick_overrides`` (the bench-scale
     incastmix substrate) with the webserver workload — the heaviest of
@@ -48,49 +98,260 @@ def bench_config() -> ScenarioConfig:
     )
 
 
-def run_engine_benchmark(repeats: int = 1) -> Dict:
-    """Run the benchmark scenario ``repeats`` times; report the best.
+def scenario_matrix() -> Dict[str, BenchScenario]:
+    """The full named matrix, in canonical order."""
+    incast_sweep = tuple(
+        ScenarioConfig(
+            workload="websearch",
+            cc="dcqcn",
+            n_tors=16,
+            hosts_per_tor=16,
+            n_spines=4,
+            pattern="incast",
+            incast_fan_in=fan_in,
+            incast_load=0.8,
+            duration=200_000,
+            seed=1,
+        )
+        for fan_in in (64, 128, 255)
+    )
+    fattree = ScenarioConfig(
+        topology="fat-tree",
+        fat_tree_k=8,
+        hosts_per_edge=4,
+        workload="websearch",
+        cc="dcqcn",
+        pattern="poisson",
+        poisson_load=0.6,
+        duration=ms(1),
+        seed=1,
+    )
+    return {
+        "quick": BenchScenario(
+            "quick",
+            "bench-scale incastmix (16 hosts, webserver); the CI gate",
+            (bench_config(),),
+        ),
+        "incast256": BenchScenario(
+            "incast256",
+            "256-host leaf-spine incast-degree sweep (fan-in 64/128/255)",
+            incast_sweep,
+        ),
+        "fattree-a2a": BenchScenario(
+            "fattree-a2a",
+            "128-host fat-tree (k=8) Poisson all-to-all",
+            (fattree,),
+        ),
+    }
 
-    Returns a JSON-ready dict with events/sec, wall seconds, and the
-    run's headline invariants (events executed and flows completed are
-    seed-determined, so they double as a determinism check).
+
+def machine_fingerprint() -> str:
+    """Identifies the hardware a record was measured on.
+
+    Events/second is only comparable within one machine; the gate
+    never compares records across fingerprints.
+    """
+    return f"{platform.node()}/{platform.machine()}"
+
+
+# -- running ------------------------------------------------------------------
+
+
+def run_bench_scenario(spec: BenchScenario, repeats: int = 3) -> Dict:
+    """Time ``spec`` ``repeats`` times; report the median.
+
+    Event counts and flow totals are seed-determined: a repeat that
+    disagrees is a determinism regression and raises immediately.
     """
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
-    cfg = bench_config()
-    best_wall = float("inf")
-    result = None
+    walls: List[float] = []
+    events = completed = total = sim_time = -1
     for _ in range(repeats):
-        r = run_scenario(cfg)
-        if r.wall_seconds < best_wall:
-            best_wall = r.wall_seconds
-            result = r
-    assert result is not None
+        wall = 0.0
+        ev = done = flows = stime = 0
+        for cfg in spec.configs:
+            r = run_scenario(cfg)
+            wall += r.wall_seconds
+            ev += r.events
+            done += r.completed_flows
+            flows += r.total_flows
+            stime += r.sim_time
+        if events >= 0 and (ev, done, flows) != (events, completed, total):
+            raise RuntimeError(
+                f"benchmark {spec.name!r} is nondeterministic across "
+                f"repeats: {ev} events vs {events} on the previous run"
+            )
+        events, completed, total, sim_time = ev, done, flows, stime
+        walls.append(wall)
+    median = statistics.median(walls)
+    stdev = statistics.stdev(walls) if len(walls) > 1 else 0.0
     return {
-        "benchmark": "engine-incastmix-quick",
-        "seed": cfg.seed,
-        "events": result.events,
-        "wall_seconds": round(best_wall, 4),
-        "events_per_sec": round(result.events / best_wall) if best_wall else 0,
-        "sim_time_ns": result.sim_time,
-        "completed_flows": result.completed_flows,
-        "total_flows": result.total_flows,
+        "scenario": spec.name,
+        "description": spec.description,
+        "events": events,
+        "wall_seconds": round(median, 4),
+        "wall_stdev": round(stdev, 4),
+        "events_per_sec": round(events / median) if median else 0,
+        "sim_time_ns": sim_time,
+        "completed_flows": completed,
+        "total_flows": total,
         "repeats": repeats,
     }
 
 
-def write_benchmark(result: Dict, path: Union[str, Path, None] = None) -> Path:
-    """Write the benchmark record to ``BENCH_engine.json``."""
+def run_matrix(
+    scenarios: Optional[Iterable[str]] = None, repeats: int = 3
+) -> Dict[str, Dict]:
+    """Run the named scenarios (default: just ``quick``)."""
+    matrix = scenario_matrix()
+    names = list(scenarios) if scenarios else ["quick"]
+    unknown = [n for n in names if n not in matrix]
+    if unknown:
+        raise ValueError(
+            f"unknown benchmark scenario(s) {unknown}; "
+            f"choose from {sorted(matrix)}"
+        )
+    return {name: run_bench_scenario(matrix[name], repeats) for name in names}
+
+
+# -- the history file ---------------------------------------------------------
+
+
+def load_bench_file(path: Union[str, Path]) -> Dict:
+    """Read ``BENCH_engine.json``, upgrading the legacy single-record
+    format (pre-matrix: one flat ``quick`` record, no machine tag) into
+    a one-entry history so committed baselines stay on the trajectory.
+    """
+    path = Path(path)
+    if not path.exists():
+        return {"benchmark": "engine-bench", "history": []}
+    data = json.loads(path.read_text())
+    if "history" in data:
+        return data
+    # legacy: a single flat record for the quick scenario
+    entry = {
+        "machine": data.get("machine", "unknown"),
+        "timestamp": data.get("timestamp", "unknown"),
+        "scenarios": {
+            "quick": {
+                "scenario": "quick",
+                "events": data.get("events", 0),
+                "wall_seconds": data.get("wall_seconds", 0.0),
+                "events_per_sec": data.get("events_per_sec", 0),
+                "repeats": data.get("repeats", 1),
+            }
+        },
+    }
+    return {"benchmark": "engine-bench", "history": [entry]}
+
+
+def append_history(
+    records: Dict[str, Dict], path: Union[str, Path, None] = None
+) -> Dict:
+    """Append one history entry for ``records`` and rewrite the file.
+
+    Returns the entry written.  ``latest`` mirrors the newest record
+    per scenario so dashboards need not scan the history.
+    """
     out = Path(path or os.environ.get(ENV_BENCH_OUT) or DEFAULT_BENCH_FILE)
+    data = load_bench_file(out)
+    entry = {
+        "machine": machine_fingerprint(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "scenarios": records,
+    }
+    history = data.get("history", [])
+    history.append(entry)
+    data["history"] = history[-MAX_HISTORY:]
+    latest = data.get("latest", {})
+    latest.update(records)
+    data["latest"] = latest
+    data["benchmark"] = "engine-bench"
     out.parent.mkdir(parents=True, exist_ok=True)
-    out.write_text(json.dumps(result, indent=2) + "\n")
-    return out
+    out.write_text(json.dumps(data, indent=2) + "\n")
+    return entry
+
+
+def best_history_rate(
+    data: Dict, scenario: str, machine: str
+) -> Optional[int]:
+    """Best recorded events/second for ``scenario`` on ``machine``.
+
+    Entries without a machine tag (legacy records) are skipped — they
+    may come from different hardware and would poison the comparison.
+    """
+    best: Optional[int] = None
+    for entry in data.get("history", []):
+        if entry.get("machine") != machine:
+            continue
+        rec = entry.get("scenarios", {}).get(scenario)
+        if not rec:
+            continue
+        rate = rec.get("events_per_sec", 0)
+        if best is None or rate > best:
+            best = rate
+    return best
+
+
+def check_gate(
+    records: Dict[str, Dict],
+    data: Dict,
+    machine: Optional[str] = None,
+    max_regression: float = DEFAULT_MAX_REGRESSION,
+) -> Tuple[bool, List[str]]:
+    """The CI perf-smoke gate: no scenario may regress > ``max_regression``.
+
+    Compares each fresh record against the best same-machine history
+    entry; a machine with no history falls back to the absolute floor
+    (CI runners change hardware, and cross-machine events/second is
+    meaningless).  Returns ``(ok, messages)``.
+    """
+    machine = machine or machine_fingerprint()
+    ok = True
+    messages: List[str] = []
+    for name, rec in records.items():
+        rate = rec["events_per_sec"]
+        best = best_history_rate(data, name, machine)
+        if best is None or best <= 0:
+            bar = EVENTS_PER_SEC_FLOOR
+            basis = f"absolute floor (no history for machine {machine!r})"
+        else:
+            bar = round(best * (1.0 - max_regression))
+            basis = f"best same-machine run {best:,} ev/s - {max_regression:.0%}"
+        if rate < bar:
+            ok = False
+            messages.append(
+                f"GATE FAIL {name}: {rate:,} ev/s < {bar:,} ({basis})"
+            )
+        else:
+            messages.append(
+                f"gate ok {name}: {rate:,} ev/s >= {bar:,} ({basis})"
+            )
+    return ok, messages
+
+
+# -- one-call entry points ----------------------------------------------------
+
+
+def run_engine_benchmark(repeats: int = 3) -> Dict:
+    """The canonical ``quick`` record (kept for perf tests and tools)."""
+    return run_bench_scenario(scenario_matrix()["quick"], repeats=repeats)
 
 
 def run_and_write(
-    repeats: int = 1, path: Union[str, Path, None] = None
+    repeats: int = 3,
+    path: Union[str, Path, None] = None,
+    scenarios: Optional[Iterable[str]] = None,
 ) -> Dict:
-    """Benchmark, persist, and return the record (CLI/pytest entry)."""
-    result = run_engine_benchmark(repeats=repeats)
-    result["output_file"] = str(write_benchmark(result, path))
+    """Benchmark, append to the trajectory, and return the records.
+
+    The return value maps scenario name to its fresh record, plus an
+    ``output_file`` key naming the history file written.
+    """
+    records = run_matrix(scenarios, repeats=repeats)
+    out = Path(path or os.environ.get(ENV_BENCH_OUT) or DEFAULT_BENCH_FILE)
+    append_history(records, out)
+    result: Dict = dict(records)
+    result["output_file"] = str(out)
     return result

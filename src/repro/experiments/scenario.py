@@ -29,6 +29,7 @@ from repro.floodgate.config import FloodgateConfig
 from repro.floodgate.extension import FloodgateExtension
 from repro.net.ecn import EcnConfig, EcnMarker
 from repro.net.host import Host
+from repro.net.packet import DISABLED_POOL, PacketPool
 from repro.net.switch import Switch
 from repro.net.topology import (
     Topology,
@@ -125,6 +126,10 @@ class ScenarioConfig:
     #: hard stop as a multiple of `duration` (lets stragglers finish)
     max_runtime_factor: float = 8.0
     track_bandwidth: bool = False
+    #: recycle consumed packets through a shared free list (see
+    #: repro.net.packet.PacketPool).  Off produces byte-identical event
+    #: streams — the determinism suite asserts it — at more GC pressure.
+    packet_pool: bool = True
 
     def resolved(self) -> "ScenarioConfig":
         """Fill in scale-dependent defaults."""
@@ -179,6 +184,11 @@ class Scenario:
         self.topology = self._build_topology()
         # hosts and topology share one flow table
         self.topology.flow_table = self.flow_table
+        #: one packet recycler per run, shared by every node (a packet
+        #: released at its sink may be reborn anywhere)
+        self.pool = PacketPool() if cfg.packet_pool else DISABLED_POOL
+        for node in self.topology.hosts + self.topology.switches:
+            node.pool = self.pool
         self.base_rtt = self.topology.base_rtt
         self.base_bdp = bdp_bytes(cfg.host_bandwidth, self.base_rtt)
         self.cc = self._build_cc()

@@ -372,7 +372,10 @@ class FaultInjector:
         rate = baseline
         for f in factors:
             rate *= f
-        port.bandwidth = rate
+        # set_bandwidth invalidates the port's memoized serialization
+        # delays — without that, a degraded port would keep serializing
+        # at the rate its delay table was built for
+        port.set_bandwidth(rate)
 
     # -- reporting ----------------------------------------------------------------
 

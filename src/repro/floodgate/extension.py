@@ -158,6 +158,7 @@ class FloodgateExtension(SwitchExtension):
             sw.dropped_packets += 1
             if sw.stats is not None:
                 sw.stats.record_drop()
+            sw.pool.release(pkt)
             return
         pkt.no_win = True
         sw._note_port_bytes(out_port, pkt.size)
@@ -209,9 +210,13 @@ class FloodgateExtension(SwitchExtension):
                 else:
                     self.windows.add_credits(dst, count)
                 self._drain_dst(dst)
+            # consumed: recycle (note self.pool is the VoqPool — the
+            # packet recycler lives on the switch)
+            self.switch.pool.release(pkt)
             return True
         if pkt.kind == PacketKind.SWITCH_SYN:
             self.credits.answer_syn(in_port, pkt.pause_dst)
+            self.switch.pool.release(pkt)
             return True
         return False
 
@@ -232,7 +237,7 @@ class FloodgateExtension(SwitchExtension):
     def _send_credit(self, port: int, dst: int, count: int, psn: int) -> None:
         sw = self.switch
         peer = sw.peer(port)
-        credit = Packet.control(PacketKind.CREDIT, sw.node_id, peer.node_id)
+        credit = sw.pool.acquire_control(PacketKind.CREDIT, sw.node_id, peer.node_id)
         credit.credits = [(dst, count)]
         credit.last_psn = psn
         sw.ports[port].enqueue_control(credit)
@@ -252,7 +257,7 @@ class FloodgateExtension(SwitchExtension):
                 peer = self.switch.peer(port)
                 if not isinstance(peer, Switch):
                     continue  # the last hop is a host: nothing to probe
-                syn = Packet.control(
+                syn = self.switch.pool.acquire_control(
                     PacketKind.SWITCH_SYN, self.switch.node_id, peer.node_id
                 )
                 syn.pause_dst = dst
@@ -276,7 +281,9 @@ class FloodgateExtension(SwitchExtension):
             return
         paused.add(pkt.src)
         self.dst_pauses_sent += 1
-        frame = Packet.control(PacketKind.DST_PAUSE, self.switch.node_id, pkt.src)
+        frame = self.switch.pool.acquire_control(
+            PacketKind.DST_PAUSE, self.switch.node_id, pkt.src
+        )
         frame.pause_dst = dst
         self.switch.ports[src_port].enqueue_control(frame)
 
@@ -292,7 +299,7 @@ class FloodgateExtension(SwitchExtension):
             src_port = self.switch.connected_hosts.get(src)
             if src_port is None:
                 continue
-            frame = Packet.control(
+            frame = self.switch.pool.acquire_control(
                 PacketKind.DST_RESUME, self.switch.node_id, src
             )
             frame.pause_dst = dst

@@ -31,6 +31,8 @@ class SharedBuffer:
         "used",
         "ingress_bytes",
         "ingress_paused",
+        "n_ports",
+        "n_paused",
         "max_used",
         "dropped",
         "hysteresis",
@@ -56,6 +58,10 @@ class SharedBuffer:
         self.used = 0
         self.ingress_bytes: List[int] = [0] * n_ports
         self.ingress_paused: List[bool] = [False] * n_ports
+        self.n_ports = n_ports
+        #: count of True entries in ingress_paused — lets release() skip
+        #: its every-port resume scan in the common nothing-paused case
+        self.n_paused = 0
         self.max_used = 0
         self.dropped = 0
         #: callbacks installed by the switch: ``on_pause(ingress_port)``
@@ -82,7 +88,7 @@ class SharedBuffer:
         self.used += size
         if self.used > self.max_used:
             self.max_used = self.used
-        if 0 <= ingress_port < len(self.ingress_bytes):
+        if 0 <= ingress_port < self.n_ports:
             self.ingress_bytes[ingress_port] += size
             self._check_pause(ingress_port)
         return True
@@ -92,7 +98,7 @@ class SharedBuffer:
         self.used -= size
         if self.used < 0:
             raise RuntimeError("buffer accounting underflow (double release?)")
-        if 0 <= ingress_port < len(self.ingress_bytes):
+        if 0 <= ingress_port < self.n_ports:
             self.ingress_bytes[ingress_port] -= size
             if self.ingress_bytes[ingress_port] < 0:
                 raise RuntimeError(
@@ -101,7 +107,7 @@ class SharedBuffer:
             self._check_resume(ingress_port)
         # A release frees pool space, which raises every port's dynamic
         # threshold; ports paused near the boundary may resume.
-        if self.pfc_enabled:
+        if self.n_paused and self.pfc_enabled:
             for port, paused in enumerate(self.ingress_paused):
                 if paused and port != ingress_port:
                     self._check_resume(port)
@@ -113,6 +119,7 @@ class SharedBuffer:
             return
         if self.ingress_bytes[port] + self.headroom > self.threshold():
             self.ingress_paused[port] = True
+            self.n_paused += 1
             if self.on_pause is not None:
                 self.on_pause(port)
 
@@ -121,5 +128,6 @@ class SharedBuffer:
             return
         if self.ingress_bytes[port] + self.headroom + self.hysteresis < self.threshold():
             self.ingress_paused[port] = False
+            self.n_paused -= 1
             if self.on_resume is not None:
                 self.on_resume(port)

@@ -27,7 +27,13 @@ from repro.sim.engine import Simulator
 from repro.sim.process import Timer
 from repro.stats.collector import StatsHub
 from repro.stats.fct import FctRecord
-from repro.units import CTRL_PKT_SIZE, SEC, us
+from repro.units import SEC, us
+
+#: hoisted enum members for the per-packet receive dispatch
+_DATA = PacketKind.DATA
+_ACK = PacketKind.ACK
+_NACK = PacketKind.NACK
+_CNP = PacketKind.CNP
 
 
 class Host(Node):
@@ -50,7 +56,7 @@ class Host(Node):
         int_enabled: bool = False,
     ) -> None:
         super().__init__(sim, node_id, name)
-        self.cc = cc
+        self.cc = cc  # property: also caches the optional send hook
         self.flow_table = flow_table
         self.stats = stats
         self.rto = rto
@@ -77,6 +83,18 @@ class Host(Node):
         #: "all flows done" in O(1) instead of scanning the flow table
         self.on_flow_done: Optional[Callable[[Flow], None]] = None
 
+    @property
+    def cc(self):
+        """The congestion-control module driving this host's flows."""
+        return self._cc
+
+    @cc.setter
+    def cc(self, value) -> None:
+        self._cc = value
+        #: resolved at assignment: the optional CC send hook would
+        #: otherwise cost a getattr per emitted data packet
+        self._cc_on_data_sent = getattr(value, "on_data_sent", None)
+
     # -- sending -------------------------------------------------------------------
 
     def start_flow(self, flow: Flow) -> None:
@@ -87,7 +105,7 @@ class Host(Node):
             )
         self.flow_table[flow.flow_id] = flow
         self.active_flows.add(flow.flow_id)
-        self.cc.on_flow_start(flow, self.sim.now)
+        self._cc.on_flow_start(flow, self.sim.now)
         flow.next_send_time = self.sim.now
         flow.rto_timer = Timer(self.sim, self._on_rto, flow)
         self._try_send(flow)
@@ -109,7 +127,7 @@ class Host(Node):
             return
         if self._flow_blocked(flow):
             return  # resumed when the pause lifts
-        cap = min(flow.cwnd_bytes, self.cc.swnd_bytes)
+        cap = min(flow.cwnd_bytes, self._cc.swnd_bytes)
         if flow.inflight_bytes + flow.packet_size(flow.next_seq) > cap:
             return  # ACK-clocked: resumed by _receive_ack
         now = self.sim.now
@@ -128,7 +146,9 @@ class Host(Node):
         now = self.sim.now
         seq = flow.next_seq
         size = flow.packet_size(seq)
-        pkt = Packet(PacketKind.DATA, self.node_id, flow.dst, size, flow.flow_id, seq)
+        pkt = self.pool.acquire(
+            PacketKind.DATA, self.node_id, flow.dst, size, flow.flow_id, seq
+        )
         pkt.sent_time = now
         if self.int_enabled:
             pkt.int_records = []
@@ -137,7 +157,7 @@ class Host(Node):
         self.tx_data_bytes += size
         self.tx_data_packets += 1
         self.ports[0].enqueue(pkt, 1)
-        on_data_sent = getattr(self.cc, "on_data_sent", None)
+        on_data_sent = self._cc_on_data_sent
         if on_data_sent is not None:
             on_data_sent(flow, size, now)
         # pacing: space packets at flow.rate
@@ -156,7 +176,7 @@ class Host(Node):
         flow.retransmitted_packets += flow.next_seq - flow.acked_seq
         flow.next_seq = flow.acked_seq
         flow.next_send_time = self.sim.now
-        self.cc.on_timeout(flow, self.sim.now)
+        self._cc.on_timeout(flow, self.sim.now)
         if flow.rto_timer is not None:
             flow.rto_timer.start(self.rto)
         self._kick(flow)
@@ -165,16 +185,16 @@ class Host(Node):
 
     def receive(self, pkt: Packet, ingress_port: int) -> None:
         kind = pkt.kind
-        if kind == PacketKind.DATA:
+        if kind == _DATA:
             self._receive_data(pkt)
-        elif kind == PacketKind.ACK:
+        elif kind == _ACK:
             self._receive_ack(pkt)
-        elif kind == PacketKind.NACK:
+        elif kind == _NACK:
             self._receive_nack(pkt)
-        elif kind == PacketKind.CNP:
+        elif kind == _CNP:
             flow = self.flow_table.get(pkt.flow_id)
             if flow is not None and not flow.sender_done:
-                self.cc.on_cnp(flow, self.sim.now)
+                self._cc.on_cnp(flow, self.sim.now)
         elif kind == PacketKind.PFC_PAUSE:
             port = self.ports[ingress_port]
             if self.sanitizer is not None:
@@ -201,6 +221,11 @@ class Host(Node):
                 flow = self.flow_table[flow_id]
                 if flow.dst == pkt.pause_dst and not flow.sender_done:
                     self._kick(flow)
+        # hosts are sinks: every kind above is fully consumed here, so
+        # the packet can go straight back to the pool (handlers keep no
+        # reference — ACK INT stacks are aliased as lists, and reset()
+        # only rebinds ``int_records``, never mutates the list)
+        self.pool.release(pkt)
 
     def _receive_data(self, pkt: Packet) -> None:
         self.rx_data_packets += 1
@@ -216,7 +241,9 @@ class Host(Node):
                 self.stats.record_corrupt_rx()
             if now - flow.last_nack_time >= self.nack_interval:
                 flow.last_nack_time = now
-                nack = Packet.control(PacketKind.NACK, self.node_id, flow.src)
+                nack = self.pool.acquire_control(
+                    PacketKind.NACK, self.node_id, flow.src
+                )
                 nack.flow_id = flow.flow_id
                 nack.seq = flow.expected_seq
                 self.ports[0].enqueue_control(nack)
@@ -251,11 +278,11 @@ class Host(Node):
             # gap: go-back-N NACK, rate limited
             if now - flow.last_nack_time >= self.nack_interval:
                 flow.last_nack_time = now
-                nack = Packet.control(PacketKind.NACK, self.node_id, flow.src)
+                nack = self.pool.acquire_control(
+                    PacketKind.NACK, self.node_id, flow.src
+                )
                 nack.flow_id = flow.flow_id
                 nack.seq = flow.expected_seq
-                nack.size = CTRL_PKT_SIZE
-                nack.kind = PacketKind.NACK
                 self.ports[0].enqueue_control(nack)
         else:
             # duplicate after a rewind: re-ACK so the sender advances
@@ -266,12 +293,12 @@ class Host(Node):
             and now - flow.last_cnp_time >= self.cnp_interval
         ):
             flow.last_cnp_time = now
-            cnp = Packet.control(PacketKind.CNP, self.node_id, flow.src)
+            cnp = self.pool.acquire_control(PacketKind.CNP, self.node_id, flow.src)
             cnp.flow_id = flow.flow_id
             self.ports[0].enqueue_control(cnp)
 
     def _send_ack(self, flow: Flow, data_pkt: Packet) -> None:
-        ack = Packet.control(PacketKind.ACK, self.node_id, flow.src)
+        ack = self.pool.acquire_control(PacketKind.ACK, self.node_id, flow.src)
         ack.flow_id = flow.flow_id
         ack.seq = flow.expected_seq
         ack.echo_time = data_pkt.sent_time
@@ -296,7 +323,7 @@ class Host(Node):
         if flow.all_acked and flow.all_sent:
             flow.sender_done = True
             self.active_flows.discard(flow.flow_id)
-        self.cc.on_ack(flow, pkt, now)
+        self._cc.on_ack(flow, pkt, now)
         if not flow.sender_done:
             self._kick(flow)
 

@@ -15,6 +15,7 @@ port).  Links host two fault hooks, both zero-cost when unused:
 from __future__ import annotations
 
 import random
+from heapq import heappush
 from typing import TYPE_CHECKING, Optional
 
 from repro.net.packet import PacketKind
@@ -104,10 +105,23 @@ class Link:
                 elif pkt.kind == PacketKind.CREDIT:
                     self.dropped_credit_packets += 1
                 return
-        peer = self.peer_of(sender)
-        peer_port = self.peer_port_of(sender)
+        # inline peer resolution (peer_of + peer_port_of): this runs
+        # once per transmitted packet, and two method calls are
+        # measurable at that rate
+        if sender is self.node_a:
+            peer = self.node_b
+            peer_port = self.port_b
+        else:
+            peer = self.node_a
+            peer_port = self.port_a
         if self.fault is not None:
             self.fault.transmit(pkt, peer, peer_port)
             return
-        # handle-free fast path: propagation events are never cancelled
-        self.sim.schedule_call(self.delay, peer.receive, pkt, peer_port)
+        # handle-free fast path (schedule_call inlined): propagation
+        # events are never cancelled, and this runs once per packet
+        sim = self.sim
+        sim._seq += 1
+        heappush(
+            sim._heap,
+            (sim.now + self.delay, sim._seq, None, peer.receive, (pkt, peer_port)),
+        )

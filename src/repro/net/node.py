@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, List
 
 from repro.sim.engine import Simulator
+from repro.net.packet import DISABLED_POOL, PacketPool
 from repro.net.port import EgressPort
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -21,6 +22,10 @@ class Node:
         self.name = name or f"node{node_id}"
         self.ports: List[EgressPort] = []
         self.links: List["Link"] = []
+        #: packet recycler shared by every node in a scenario; the
+        #: module-level disabled pool by default, so allocation sites
+        #: can call ``self.pool.acquire`` / ``.release`` unconditionally
+        self.pool: PacketPool = DISABLED_POOL
 
     def attach_link(
         self,
@@ -38,7 +43,11 @@ class Node:
             n_data_queues=n_data_queues,
             rr_data_queues=rr_data_queues,
         )
-        port.on_dequeue = self.on_port_dequeue
+        # only wire the dequeue hook when the subclass actually has one;
+        # hosts inherit the base no-op, and skipping it saves a method
+        # call per transmitted packet on every NIC port
+        if type(self).on_port_dequeue is not Node.on_port_dequeue:
+            port.on_dequeue = self.on_port_dequeue
         self.ports.append(port)
         self.links.append(link)
         if link.node_a is self:

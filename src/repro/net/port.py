@@ -21,7 +21,8 @@ single queue (BFC); both exempt the control queue.
 from __future__ import annotations
 
 from collections import deque
-from typing import TYPE_CHECKING, Callable, Deque, List, Optional
+from heapq import heappush
+from typing import TYPE_CHECKING, Callable, Deque, Dict, List, Optional
 
 from repro.sim.engine import Simulator
 from repro.units import SEC
@@ -43,12 +44,17 @@ class EgressPort:
         "node",
         "index",
         "link",
-        "bandwidth",
+        "_bandwidth",
+        "_delay_table",
         "queues",
         "queue_bytes",
         "rr_start",
         "_rr_next",
         "_busy",
+        "_queued",
+        "_data_bytes",
+        "_peer",
+        "_peer_port",
         "paused",
         "paused_queues",
         "tx_bytes",
@@ -71,13 +77,34 @@ class EgressPort:
         self.node = node
         self.index = index
         self.link = link
-        self.bandwidth = link.bandwidth
+        self._bandwidth = link.bandwidth
+        #: wire size -> serialization delay (ns), filled lazily.  Real
+        #: traffic uses only a handful of distinct sizes (data MTU, the
+        #: flow-tail remainder, ACK/credit/PFC frames), so the division
+        #: and round in ``size * 8 * SEC / bandwidth`` run once per
+        #: (port, size) instead of once per packet.
+        self._delay_table: Dict[int, int] = {}
         total = 1 + n_data_queues + rr_data_queues
         self.queues: List[Deque["Packet"]] = [deque() for _ in range(total)]
         self.queue_bytes: List[int] = [0] * total
         self.rr_start = 1 + n_data_queues
         self._rr_next = self.rr_start
         self._busy = False
+        #: total packets across all queues — O(1) idle check, so the
+        #: post-transmit re-kick on an empty port costs one comparison
+        #: instead of a queue scan
+        self._queued = 0
+        #: bytes across the data queues (everything but control),
+        #: maintained on enqueue/dequeue so the ECN marking decision
+        #: reads a counter instead of summing a list slice per packet
+        self._data_bytes = 0
+        #: cached peer node + peer port index for the healthy-link
+        #: delivery fast path; resolved lazily on the first transmit
+        #: (the far end attaches after this port exists).  The peer's
+        #: ``receive`` is looked up per delivery, not cached, so tests
+        #: that stub it still intercept traffic.
+        self._peer: Optional["Node"] = None
+        self._peer_port = -1
         self.paused = False
         self.paused_queues: set[int] = set()
         self.tx_bytes = 0        # everything, for INT and overhead stats
@@ -89,12 +116,46 @@ class EgressPort:
         self.pause_started: int = -1
         self.total_paused_time: int = 0
 
+    # -- bandwidth / serialization-delay table ----------------------------------
+
+    @property
+    def bandwidth(self) -> float:
+        """Current egress rate, bits/s (see :meth:`set_bandwidth`)."""
+        return self._bandwidth
+
+    @bandwidth.setter
+    def bandwidth(self, value: float) -> None:
+        self.set_bandwidth(value)
+
+    def set_bandwidth(self, value: float) -> None:
+        """Change the egress rate and rebuild the delay table.
+
+        The single invalidation path shared by construction, fault
+        injection (``PortDegrade`` rate scaling), and any future rate
+        changes: the memoized per-size serialization delays are only
+        valid for the rate they were computed at, so a stale table
+        would keep a degraded port serializing at full speed.
+        """
+        if value <= 0:
+            raise ValueError(f"bandwidth must be positive, got {value}")
+        if value != self._bandwidth:
+            self._bandwidth = value
+            self._delay_table.clear()
+
+    def serialization_delay_of(self, size: int) -> int:
+        """Memoized wire time for ``size`` bytes at the current rate."""
+        delay = self._delay_table.get(size)
+        if delay is None:
+            delay = int(round(size * 8 * SEC / self._bandwidth))
+            self._delay_table[size] = delay
+        return delay
+
     # -- introspection ----------------------------------------------------------
 
     @property
     def data_bytes_queued(self) -> int:
         """Bytes waiting in all data queues (excludes control)."""
-        return sum(self.queue_bytes[1:])
+        return self._data_bytes
 
     def add_rr_queues(self, count: int) -> int:
         """Append ``count`` round-robin queues; returns first new index."""
@@ -111,11 +172,21 @@ class EgressPort:
         pkt.enqueue_time = self.sim.now
         self.queues[queue_idx].append(pkt)
         self.queue_bytes[queue_idx] += pkt.size
-        self._try_transmit()
+        self._queued += 1
+        if queue_idx != CONTROL_QUEUE:
+            self._data_bytes += pkt.size
+        if not self._busy:
+            self._try_transmit()
 
     def enqueue_control(self, pkt: "Packet") -> None:
-        """Append ``pkt`` to the control queue."""
-        self.enqueue(pkt, CONTROL_QUEUE)
+        """Append ``pkt`` to the control queue (enqueue body inlined —
+        one call frame per ACK/credit/PFC frame)."""
+        pkt.enqueue_time = self.sim.now
+        self.queues[CONTROL_QUEUE].append(pkt)
+        self.queue_bytes[CONTROL_QUEUE] += pkt.size
+        self._queued += 1
+        if not self._busy:
+            self._try_transmit()
 
     # -- pause / resume ------------------------------------------------------------
 
@@ -175,32 +246,76 @@ class EgressPort:
         return -1
 
     def _try_transmit(self) -> None:
-        if self._busy:
+        if self._busy or not self._queued:
             return
-        idx = self._pick_queue()
-        if idx < 0:
+        # inline the two overwhelmingly common scheduler outcomes
+        # (control frame waiting; single unpaused data queue) before
+        # falling back to the full priority/RR scan
+        queues = self.queues
+        if queues[CONTROL_QUEUE]:
+            idx = CONTROL_QUEUE
+        elif self.paused:
             return
-        pkt = self.queues[idx].popleft()
+        elif self.rr_start > 1 and queues[1] and 1 not in self.paused_queues:
+            idx = 1
+        else:
+            idx = self._pick_queue()
+            if idx < 0:
+                return
+        pkt = queues[idx].popleft()
         size = pkt.size
         self.queue_bytes[idx] -= size
+        self._queued -= 1
+        if idx != CONTROL_QUEUE:
+            self._data_bytes -= size
         # mark busy *before* the dequeue hook: hooks may enqueue more
         # packets (VOQ drains), which must not re-enter the transmitter
         self._busy = True
-        if self.on_dequeue is not None:
-            self.on_dequeue(self, pkt, idx)
+        on_dequeue = self.on_dequeue
+        if on_dequeue is not None:
+            on_dequeue(self, pkt, idx)
         self.tx_bytes += size
         if pkt.ecn_capable:
             self.tx_data_bytes += size
-        # inline serialization_delay (same arithmetic) — this runs once
-        # per transmitted packet; handle-free schedule: never cancelled
-        self.sim.schedule_call(
-            int(round(size * 8 * SEC / self.bandwidth)), self._tx_done, pkt
+        # memoized serialization delay (same arithmetic as the old
+        # inline division); the schedule_call fast path is inlined —
+        # identical heap tuple, one packet-rate call frame saved
+        delay = self._delay_table.get(size)
+        if delay is None:
+            delay = int(round(size * 8 * SEC / self._bandwidth))
+            self._delay_table[size] = delay
+        sim = self.sim
+        sim._seq += 1
+        heappush(
+            sim._heap, (sim.now + delay, sim._seq, None, self._tx_done, (pkt,))
         )
 
     def _tx_done(self, pkt: "Packet") -> None:
         self._busy = False
-        self.link.deliver(pkt, self.node)
-        self._try_transmit()
+        link = self.link
+        if link.loss_rate == 0.0 and link.fault is None:
+            # healthy link: skip deliver()'s call frame and schedule the
+            # peer's receive directly (identical event tuple)
+            peer = self._peer
+            if peer is None:
+                peer = self._peer = link.peer_of(self.node)
+                self._peer_port = link.peer_port_of(self.node)
+            sim = self.sim
+            sim._seq += 1
+            heappush(
+                sim._heap,
+                (
+                    sim.now + link.delay,
+                    sim._seq,
+                    None,
+                    peer.receive,
+                    (pkt, self._peer_port),
+                ),
+            )
+        else:
+            link.deliver(pkt, self.node)
+        if self._queued:
+            self._try_transmit()
 
     def kick(self) -> None:
         """Re-evaluate the scheduler (after external state changed)."""

@@ -20,10 +20,29 @@ from typing import Dict, List, Optional, Tuple, Union
 from repro.net.buffer import SharedBuffer
 from repro.net.ecn import EcnMarker
 from repro.net.node import Node
-from repro.net.packet import IntRecord, Packet, PacketKind
+from repro.net.packet import (
+    IS_ACK_LIKE,
+    IS_CONTROL,
+    IntRecord,
+    Packet,
+    PacketKind,
+)
 from repro.net.port import EgressPort
 from repro.sim.engine import Simulator
 from repro.stats.collector import BW_CREDIT, BW_CTRL, BW_DATA, StatsHub
+
+#: hoisted enum members: the receive dispatcher compares against these
+#: once per packet, and a module global beats an Enum class attribute
+_DATA = PacketKind.DATA
+_PFC_PAUSE = PacketKind.PFC_PAUSE
+_PFC_RESUME = PacketKind.PFC_RESUME
+_CREDIT_LIKE = (PacketKind.CREDIT, PacketKind.SWITCH_SYN)
+
+#: dense route entries only for dsts below this bound.  Host ids are
+#: small and contiguous (switch ids start at 1_000_000), so every real
+#: destination lands in the flat table; anything above falls back to
+#: the dict without allocating a million-slot list.
+_FLAT_ROUTE_LIMIT = 1 << 17
 
 
 def _ecmp_hash(value: int) -> int:
@@ -98,6 +117,15 @@ class Switch(Node):
         self.per_flow_ecmp = per_flow_ecmp
         # routing: dst host id -> port index, or tuple of candidates
         self.routes: Dict[int, Union[int, Tuple[int, ...]]] = {}
+        #: dense dst-indexed route table (-1 = no entry): the per-dst
+        #: ECMP choice is resolved once at set_route time, so the hot
+        #: path is a single list index instead of dict + isinstance +
+        #: hash per packet
+        self._route_flat: List[int] = []
+        #: parallel table of ECMP candidate tuples (None = single port),
+        #: consulted only under per-flow ECMP where the choice depends
+        #: on the packet's flow id
+        self._route_multi: List[Optional[Tuple[int, ...]]] = []
         #: hosts attached directly: host id -> port index
         self.connected_hosts: Dict[int, int] = {}
         #: per-port role labels for stats ("tor-up", "core", ...)
@@ -149,23 +177,55 @@ class Switch(Node):
 
     def set_route(self, dst: int, ports: Union[int, Tuple[int, ...]]) -> None:
         self.routes[dst] = ports
+        if not 0 <= dst < _FLAT_ROUTE_LIMIT:
+            return  # exotic dst: served from the dict fallback
+        flat = self._route_flat
+        if dst >= len(flat):
+            grow = dst + 1 - len(flat)
+            flat.extend([-1] * grow)
+            self._route_multi.extend([None] * grow)
+        if isinstance(ports, int):
+            flat[dst] = ports
+            self._route_multi[dst] = None
+        else:
+            # per-dst ECMP resolved once, here, instead of per packet
+            flat[dst] = ports[_ecmp_hash(dst) % len(ports)]
+            self._route_multi[dst] = tuple(ports)
 
     # -- routing ------------------------------------------------------------------
 
     def route(self, pkt: Packet) -> int:
         """Egress port index for ``pkt`` (ECMP resolved here)."""
-        entry = self.routes[pkt.dst]
-        if isinstance(entry, int):
-            return entry
-        key = pkt.flow_id if self.per_flow_ecmp else pkt.dst
-        return entry[_ecmp_hash(key) % len(entry)]
+        dst = pkt.dst
+        try:
+            port = self._route_flat[dst]
+        except IndexError:
+            port = -1
+        if port < 0:
+            return self._route_slow(dst, pkt.flow_id)
+        if self.per_flow_ecmp:
+            entry = self._route_multi[dst]
+            if entry is not None:
+                return entry[_ecmp_hash(pkt.flow_id) % len(entry)]
+        return port
 
     def route_for_dst(self, dst: int) -> int:
         """Egress port for a destination under per-dst ECMP."""
-        entry = self.routes[dst]
+        try:
+            port = self._route_flat[dst]
+        except IndexError:
+            port = -1
+        if port < 0:
+            return self._route_slow(dst, None)
+        return port
+
+    def _route_slow(self, dst: int, flow_id: Optional[int]) -> int:
+        """Dict fallback for dsts outside the flat table (or unset)."""
+        entry = self.routes[dst]  # KeyError for unknown dst, as before
         if isinstance(entry, int):
             return entry
-        return entry[_ecmp_hash(dst) % len(entry)]
+        key = flow_id if (self.per_flow_ecmp and flow_id is not None) else dst
+        return entry[_ecmp_hash(key) % len(entry)]
 
     def is_last_hop_for(self, dst: int) -> bool:
         """True when ``dst`` is a host directly attached to this switch."""
@@ -179,23 +239,34 @@ class Switch(Node):
         if self.tracer is not None:
             self.tracer.record(self.sim.now, self.name, "rx", pkt)
         kind = pkt.kind
-        if kind == PacketKind.PFC_PAUSE:
+        if kind == _DATA:
+            # the vast majority of arrivals: dispatch before the
+            # control-kind ladder
+            out_port = self.route(pkt)
+            ext = self.extension
+            if ext is not None and ext.on_data(pkt, ingress_port, out_port):
+                return
+            self.enqueue_data(pkt, out_port)
+            return
+        if kind == _PFC_PAUSE:
             port = self.ports[ingress_port]
             if self.sanitizer is not None:
                 self.sanitizer.note_pfc(self, ingress_port, True, port.paused)
             port.pause()
+            self.pool.release(pkt)
             return
-        if kind == PacketKind.PFC_RESUME:
+        if kind == _PFC_RESUME:
             port = self.ports[ingress_port]
             if self.sanitizer is not None:
                 self.sanitizer.note_pfc(self, ingress_port, False, port.paused)
             port.resume()
+            self.pool.release(pkt)
             return
-        if pkt.is_control():
+        if IS_CONTROL[kind]:
             if self.extension is not None and self.extension.handle_control(
                 pkt, ingress_port
             ):
-                return
+                return  # the extension consumed (and recycled) the frame
             # unclaimed: no extension owns this frame — count and trace
             # the discard instead of losing it silently
             self.unclaimed_control_frames += 1
@@ -205,9 +276,10 @@ class Switch(Node):
                 self.stats.record_unclaimed_control()
             if self.tracer is not None:
                 self.tracer.record(self.sim.now, self.name, "drop", pkt)
+            self.pool.release(pkt)
             return
         out_port = self.route(pkt)
-        if pkt.is_ack_like():
+        if IS_ACK_LIKE[kind]:
             # End-to-end control: strictly prioritized, not buffer-accounted
             # (negligible size, never the congestion bottleneck).
             self.ports[out_port].enqueue_control(pkt)
@@ -234,15 +306,17 @@ class Switch(Node):
         buffer = self.buffer
         if buffer is None:
             raise RuntimeError(f"{self.name}: finalize() was not called")
+        stats = self.stats
         if not already_charged:
             if not buffer.admit(pkt.size, pkt.ingress_port):
                 self.dropped_packets += 1
-                if self.stats is not None:
-                    self.stats.record_drop()
+                if stats is not None:
+                    stats.record_drop()
                 if self.tracer is not None:
                     # the dropped copy's "rx" must not be mistaken for
                     # a queued packet when pairing rx/tx delays
                     self.tracer.record(self.sim.now, self.name, "drop", pkt)
+                self.pool.release(pkt)
                 return
         port = self.ports[out_port]
         if (
@@ -254,8 +328,8 @@ class Switch(Node):
             pkt.ecn_marked = True
         if not already_charged:
             self._note_port_bytes(out_port, pkt.size)
-            if self.stats is not None:
-                self.stats.record_switch_buffer(self.name, buffer.used)
+            if stats is not None:
+                stats.record_switch_buffer(self.name, buffer.used)
         port.enqueue(pkt, queue_idx)
 
     # -- occupancy tracking ----------------------------------------------------------
@@ -316,9 +390,10 @@ class Switch(Node):
         if self.extension is not None:
             self.extension.on_dequeue(port, pkt, queue_idx)
         if stats is not None and stats.track_bandwidth:
-            if pkt.kind == PacketKind.DATA:
+            kind = pkt.kind
+            if kind == _DATA:
                 stats.record_tx(BW_DATA, pkt.size)
-            elif pkt.kind in (PacketKind.CREDIT, PacketKind.SWITCH_SYN):
+            elif kind in _CREDIT_LIKE:
                 stats.record_tx(BW_CREDIT, pkt.size)
             else:
                 stats.record_tx(BW_CTRL, pkt.size)
@@ -328,14 +403,18 @@ class Switch(Node):
     def _send_pfc_pause(self, ingress_port: int) -> None:
         """Our ingress crossed the threshold: pause the upstream peer."""
         peer = self.peer(ingress_port)
-        frame = Packet.control(PacketKind.PFC_PAUSE, self.node_id, peer.node_id)
+        frame = self.pool.acquire_control(
+            PacketKind.PFC_PAUSE, self.node_id, peer.node_id
+        )
         self.ports[ingress_port].enqueue_control(frame)
         if self.stats is not None:
             self.stats.record_pfc_event()
 
     def _send_pfc_resume(self, ingress_port: int) -> None:
         peer = self.peer(ingress_port)
-        frame = Packet.control(PacketKind.PFC_RESUME, self.node_id, peer.node_id)
+        frame = self.pool.acquire_control(
+            PacketKind.PFC_RESUME, self.node_id, peer.node_id
+        )
         self.ports[ingress_port].enqueue_control(frame)
 
     def report_pause_time(self) -> None:

@@ -171,24 +171,23 @@ class Simulator:
         try:
             if until is None:
                 while heap and not self._stopped:
-                    item = pop(heap)
-                    ev = item[2]
+                    # single UNPACK beats four tuple index ops per event
+                    time_, _seq, ev, fn, args = pop(heap)
                     if ev is not None and ev.cancelled:
                         continue
-                    self.now = item[0]
+                    self.now = time_
                     executed += 1
-                    item[3](*item[4])
+                    fn(*args)
             else:
                 while heap and not self._stopped:
                     if heap[0][0] > until:
                         break
-                    item = pop(heap)
-                    ev = item[2]
+                    time_, _seq, ev, fn, args = pop(heap)
                     if ev is not None and ev.cancelled:
                         continue
-                    self.now = item[0]
+                    self.now = time_
                     executed += 1
-                    item[3](*item[4])
+                    fn(*args)
         finally:
             self._events_executed = executed
             self._running = False

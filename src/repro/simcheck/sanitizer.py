@@ -24,6 +24,10 @@ run and again at the end:
    explicitly excludes.
 5. **Credit conservation** — Floodgate credit frames sent equal
    frames applied upstream + unclaimed + dropped + in flight.
+6. **Packet-pool integrity** — the recycler's free list agrees with
+   its release/recycle counters, holds no duplicates, and is disjoint
+   from every in-flight packet (a free-listed packet reachable from a
+   queue, VOQ, or heap entry is a use-after-free in the making).
 
 Violations are collected (with sim timestamps) rather than raised,
 unless ``strict=True``.  Enable per run via
@@ -195,6 +199,7 @@ class SimSanitizer:
         self._check_buffers()
         self._check_windows()
         self._check_credits(inflight_credit)
+        self._check_pool()
 
     def final_check(self) -> None:
         """End-of-run sweep (the periodic task must be stopped first)."""
@@ -313,6 +318,64 @@ class SimSanitizer:
                 f"+ in-flight={inflight} (= {accounted}, "
                 f"off by {sent - accounted})"
             )
+
+    def _check_pool(self) -> None:
+        """Packet recycler integrity (scenarios built with pooling on).
+
+        Counter agreement is cheap; the disjointness walk re-traverses
+        the same structures as :meth:`_inflight`, which is fine at
+        sanitizer cadence (the sanitizer never runs on benchmark
+        paths).
+        """
+        pool = getattr(self.scenario, "pool", None)
+        if pool is None or not pool.enabled:
+            return
+        free = pool.free_count()
+        outstanding = pool.released - pool.recycled
+        if free != outstanding:
+            self.record(
+                f"packet pool counter drift: free list holds {free} "
+                f"packets but released({pool.released}) - "
+                f"recycled({pool.recycled}) = {outstanding}"
+            )
+        free_ids = {id(p) for p in pool.free_packets()}
+        if len(free_ids) != free:
+            self.record(
+                f"packet pool double-release: free list holds {free} "
+                f"entries but only {len(free_ids)} distinct packets"
+            )
+        if not free_ids:
+            return
+        for node in (*self.topology.hosts, *self.topology.switches):
+            for port in node.ports:
+                for queue in port.queues:
+                    for pkt in queue:
+                        if id(pkt) in free_ids:
+                            self.record(
+                                f"use-after-free: packet on {node.name} "
+                                f"port {port.index} queue is also on the "
+                                "pool free list"
+                            )
+        for ext in self.scenario.extensions:
+            voq_pool = getattr(ext, "pool", None)
+            if voq_pool is None:
+                continue
+            for voq in voq_pool.voqs:
+                for pkt in voq.packets:
+                    if id(pkt) in free_ids:
+                        self.record(
+                            f"use-after-free: packet in a VOQ of "
+                            f"{ext.switch.name} is also on the pool "
+                            "free list"
+                        )
+        for _time, fn, args in self.sim.pending_items():
+            for arg in args:
+                if isinstance(arg, Packet) and id(arg) in free_ids:
+                    name = getattr(fn, "__qualname__", repr(fn))
+                    self.record(
+                        f"use-after-free: packet in pending event "
+                        f"{name} is also on the pool free list"
+                    )
 
     # -- reporting ----------------------------------------------------------
 

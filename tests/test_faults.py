@@ -238,6 +238,33 @@ class TestPortDegrade:
         assert f.finish_time > fc.finish_time  # visibly slower
         assert port.bandwidth == baseline_bw  # restored after the window
 
+    def test_degrade_invalidates_memoized_serialization(self, mini):
+        """Regression: rate changes must flush the per-port delay memo.
+
+        The egress port memoizes serialization delay per packet size;
+        a degrade that only rewrote ``bandwidth`` would keep serving
+        full-rate delays for every size seen before the fault.
+        """
+        trunk = match_links("torL<->torR", mini.topo)[0]
+        port = trunk.node_a.ports[trunk.port_a]
+        full = port.serialization_delay_of(1500)  # warm the memo
+        baseline_bw = port.bandwidth
+        install(
+            mini,
+            plan_of(
+                PortDegrade(
+                    at=0, link="torL<->torR", duration=ms(1), rate_factor=0.1
+                )
+            ),
+        )
+        mini.run(us(10))  # inside the degrade window
+        assert port.bandwidth == pytest.approx(baseline_bw * 0.1)
+        degraded = port.serialization_delay_of(1500)
+        assert degraded >= 9 * full  # stale memo would return `full`
+        mini.run(ms(2))  # window over: rate and delays restored
+        assert port.bandwidth == baseline_bw
+        assert port.serialization_delay_of(1500) == full
+
     def test_extra_delay_applies_inside_window(self, mini):
         clean = MiniNet()
         fc = clean.flow(1, 0, 6, 50_000)

@@ -1,0 +1,188 @@
+"""Packet pool, delay-table invalidation, and flat route tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.packet import (
+    DISABLED_POOL,
+    IS_ACK_LIKE,
+    IS_CONTROL,
+    ACK_KINDS,
+    CONTROL_KINDS,
+    Packet,
+    PacketKind,
+    PacketPool,
+)
+from repro.net.switch import Switch
+from repro.sim.engine import Simulator
+from repro.units import CTRL_PKT_SIZE
+
+
+def _fields(pkt: Packet) -> dict:
+    return {name: getattr(pkt, name) for name in Packet.__slots__}
+
+
+class TestPacketReset:
+    def test_reset_matches_fresh_construction_every_slot(self):
+        """The pool's determinism guarantee: reset() == __init__."""
+        pkt = Packet(PacketKind.DATA, 1, 2, 1000, flow_id=7, seq=3)
+        # dirty every mutable field the way a full trip through the
+        # network would
+        pkt.ecn_marked = True
+        pkt.corrupted = True
+        pkt.sent_time = 123
+        pkt.echo_time = 456
+        pkt.int_records = []
+        pkt.credits = [(5, 2)]
+        pkt.psn = 9
+        pkt.pause_dst = 4
+        pkt.pause_port = 2
+        pkt.trimmed = True
+        pkt.last_psn = 8
+        pkt.hop_count = 5
+        pkt.enqueue_time = 99
+        pkt.no_win = True
+        pkt.upstream_queue = 3
+        pkt.ingress_port = 1
+        pkt.upstream_psn = 6
+        pkt.priority = 2
+        pkt.payload_size = 1
+
+        pkt.reset(PacketKind.ACK, 10, 11, 64, flow_id=42, seq=17)
+        fresh = Packet(PacketKind.ACK, 10, 11, 64, flow_id=42, seq=17)
+        assert _fields(pkt) == _fields(fresh)
+
+    def test_reset_covers_every_slot(self):
+        """A new Packet field that reset() misses must fail loudly."""
+        pkt = Packet(PacketKind.DATA, 0, 1, 100)
+        for name in Packet.__slots__:
+            assert hasattr(pkt, name), f"reset() does not set {name!r}"
+
+
+class TestPacketPool:
+    def test_acquire_recycles_lifo_and_counts(self):
+        pool = PacketPool()
+        a = pool.acquire(PacketKind.DATA, 0, 1, 1000)
+        b = pool.acquire(PacketKind.DATA, 0, 1, 1000)
+        assert pool.allocated == 2 and pool.recycled == 0
+        pool.release(a)
+        pool.release(b)
+        assert pool.released == 2
+        assert pool.free_count() == 2
+        assert pool.epoch == 2
+        c = pool.acquire(PacketKind.ACK, 5, 6, 64, flow_id=1, seq=2)
+        assert c is b  # LIFO: most recently released comes back first
+        assert pool.recycled == 1
+        assert pool.free_count() == 1
+        # the recycled packet is indistinguishable from a fresh one
+        fresh = Packet(PacketKind.ACK, 5, 6, 64, flow_id=1, seq=2)
+        assert _fields(c) == _fields(fresh)
+
+    def test_acquire_control_is_minimum_size(self):
+        pool = PacketPool()
+        pkt = pool.acquire_control(PacketKind.PFC_PAUSE, 3, 4)
+        twin = Packet.control(PacketKind.PFC_PAUSE, 3, 4)
+        assert pkt.size == CTRL_PKT_SIZE
+        assert _fields(pkt) == _fields(twin)
+
+    def test_disabled_pool_never_recycles(self):
+        pool = PacketPool(enabled=False)
+        a = pool.acquire(PacketKind.DATA, 0, 1, 1000)
+        pool.release(a)
+        assert pool.free_count() == 0
+        assert pool.released == 0 and pool.epoch == 0
+        b = pool.acquire(PacketKind.DATA, 0, 1, 1000)
+        assert b is not a
+
+    def test_shared_disabled_pool_is_off(self):
+        assert not DISABLED_POOL.enabled
+        assert DISABLED_POOL.free_count() == 0
+
+
+class TestKindPredicates:
+    def test_dense_tables_agree_with_the_frozensets(self):
+        for kind in PacketKind:
+            assert IS_CONTROL[kind] == (kind in CONTROL_KINDS)
+            assert IS_ACK_LIKE[kind] == (kind in ACK_KINDS)
+
+
+class TestDelayTable:
+    def _port(self):
+        from tests.conftest import MiniNet
+
+        net = MiniNet()
+        host = net.topo.hosts[0]
+        return host.ports[0]
+
+    def test_memoized_delay_matches_the_arithmetic(self):
+        port = self._port()
+        from repro.units import SEC
+
+        for size in (64, 1000, 1500):
+            expect = int(round(size * 8 * SEC / port.bandwidth))
+            assert port.serialization_delay_of(size) == expect
+            # second read comes from the memo and must agree
+            assert port.serialization_delay_of(size) == expect
+
+    def test_set_bandwidth_invalidates_the_memo(self):
+        port = self._port()
+        full = port.serialization_delay_of(1500)
+        port.set_bandwidth(port.bandwidth / 2)
+        assert port.serialization_delay_of(1500) == pytest.approx(
+            2 * full, rel=0.01
+        )
+
+    def test_bandwidth_property_setter_invalidates_too(self):
+        port = self._port()
+        full = port.serialization_delay_of(1000)
+        port.bandwidth = port.bandwidth / 4
+        assert port.serialization_delay_of(1000) == pytest.approx(
+            4 * full, rel=0.01
+        )
+
+    def test_rejects_non_positive_rate(self):
+        port = self._port()
+        with pytest.raises(ValueError):
+            port.set_bandwidth(0)
+        with pytest.raises(ValueError):
+            port.set_bandwidth(-1.0)
+
+
+class TestFlatRoutes:
+    def _switch(self) -> Switch:
+        return Switch(Simulator(), 1_000_000, "sw", buffer_capacity=100_000)
+
+    def test_flat_table_agrees_with_dict_fallback(self):
+        sw = self._switch()
+        sw.set_route(3, 0)
+        sw.set_route(7, 1)
+        sw.set_route(9, (0, 1, 2))  # ECMP group
+        for dst in (3, 7, 9):
+            pkt = Packet(PacketKind.DATA, 0, dst, 1000, flow_id=dst)
+            assert sw.route(pkt) == sw._route_slow(dst, pkt.flow_id)
+            assert sw.route_for_dst(dst) == sw._route_slow(dst, None)
+
+    def test_huge_dst_uses_the_dict_fallback(self):
+        sw = self._switch()
+        big = 1 << 20  # beyond the flat-table bound
+        sw.set_route(big, 2)
+        assert len(sw._route_flat) < big
+        assert sw.route_for_dst(big) == 2
+        pkt = Packet(PacketKind.DATA, 0, big, 1000, flow_id=1)
+        assert sw.route(pkt) == 2
+
+    def test_unknown_dst_still_raises_keyerror(self):
+        sw = self._switch()
+        sw.set_route(3, 0)
+        with pytest.raises(KeyError):
+            sw.route_for_dst(4)
+        with pytest.raises(KeyError):
+            sw.route(Packet(PacketKind.DATA, 0, 99, 1000, flow_id=1))
+
+    def test_route_update_overwrites_flat_entry(self):
+        sw = self._switch()
+        sw.set_route(5, 0)
+        assert sw.route_for_dst(5) == 0
+        sw.set_route(5, 3)
+        assert sw.route_for_dst(5) == 3
