@@ -6,8 +6,11 @@ Usage::
     floodgate-experiment run fig10 [--full]
     floodgate-experiment run tab02
     floodgate-experiment faults [--loss-rates 0.01 0.05] [--schemes floodgate ndp]
-    floodgate-experiment bench [--scenario quick|incast256|fattree-a2a|all]
+    floodgate-experiment bench [--scenario quick|incast256|fattree-a2a|
+                                           flowsim-...|all]
                                [--repeats 3] [--gate] [--out BENCH_engine.json]
+    floodgate-experiment validate-flowsim [--scenario quick ...]
+                                          [--tolerance 0.15] [--min-speedup 20]
     floodgate-experiment report [--scheme floodgate] [--out run.jsonl]
     floodgate-experiment report --from run.jsonl
     floodgate-experiment check [paths ...] [--sanitize] [--rules]
@@ -194,9 +197,18 @@ def main(argv: list[str] | None = None) -> int:
         "--scenario",
         nargs="+",
         default=["quick"],
-        choices=["quick", "incast256", "fattree-a2a", "all"],
-        help="benchmark scenario(s) to run; 'all' runs the full matrix "
-        "(default: quick)",
+        choices=[
+            "quick",
+            "incast256",
+            "fattree-a2a",
+            "flowsim-quick",
+            "flowsim-incast256",
+            "flowsim-fattree-a2a",
+            "all",
+        ],
+        help="benchmark scenario(s) to run; 'all' runs the full matrix, "
+        "flowsim-* scenarios run the fluid tier and land in "
+        "BENCH_flowsim.json (default: quick)",
     )
     bench_p.add_argument(
         "--repeats",
@@ -218,6 +230,39 @@ def main(argv: list[str] | None = None) -> int:
         "--out",
         default=None,
         help="output JSON path (default BENCH_engine.json, or $REPRO_BENCH_OUT)",
+    )
+    validate_p = sub.add_parser(
+        "validate-flowsim",
+        help="cross-validate the fluid tier against the packet engine "
+        "(FCT divergence + speedup)",
+    )
+    validate_p.add_argument(
+        "--scenario",
+        nargs="+",
+        default=None,
+        choices=["quick", "incast256", "fattree-a2a"],
+        help="bench scenario(s) to validate (default: all three)",
+    )
+    validate_p.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.15,
+        help="max p50/p99 FCT divergence asserted on quick and "
+        "incast256 (default 0.15)",
+    )
+    validate_p.add_argument(
+        "--min-speedup",
+        type=float,
+        default=20.0,
+        help="min aggregate incast256 wall-clock speedup; 0 disables "
+        "(default 20)",
+    )
+    validate_p.add_argument(
+        "--json",
+        dest="json_out",
+        default=None,
+        metavar="FILE",
+        help="also write the per-config comparisons as JSON",
     )
     report_p = sub.add_parser(
         "report",
@@ -312,6 +357,36 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 0 if result["undetected_stalls"] == 0 else 1
 
+    if args.command == "validate-flowsim":
+        from repro.flowsim.validate import cross_validate
+
+        names = args.scenario or ["quick", "incast256", "fattree-a2a"]
+        print(
+            f"Cross-validating fluid tier on: {', '.join(names)} ...",
+            file=sys.stderr,
+        )
+        start = time.monotonic()
+        ok, comparisons, messages = cross_validate(
+            names,
+            tolerance=args.tolerance,
+            min_speedup=args.min_speedup,
+        )
+        for msg in messages:
+            print(msg)
+        if args.json_out:
+            with open(args.json_out, "w", encoding="utf-8") as fh:
+                json.dump(
+                    [c.as_dict() for c in comparisons], fh, indent=2
+                )
+                fh.write("\n")
+            print(f"comparisons written to {args.json_out}", file=sys.stderr)
+        verdict = "PASS" if ok else "FAIL"
+        print(
+            f"validate-flowsim: {verdict} in {time.monotonic() - start:.1f}s",
+            file=sys.stderr,
+        )
+        return 0 if ok else 1
+
     if args.command == "report":
         return _report(args)
 
@@ -319,7 +394,11 @@ def main(argv: list[str] | None = None) -> int:
         return _check(args)
 
     if args.command == "bench":
+        from pathlib import Path
+
         from repro.experiments.bench import (
+            DEFAULT_FLOWSIM_FILE,
+            FLOWSIM_PREFIX,
             check_gate,
             load_bench_file,
             run_and_write,
@@ -337,6 +416,14 @@ def main(argv: list[str] | None = None) -> int:
         # entry was appended, so a regression cannot hide behind itself
         out = args.out or os.environ.get("REPRO_BENCH_OUT") or "BENCH_engine.json"
         prior = load_bench_file(out)
+        if any(n.startswith(FLOWSIM_PREFIX) for n in names):
+            flowsim_prior = load_bench_file(
+                Path(out).with_name(DEFAULT_FLOWSIM_FILE)
+            )
+            prior = {
+                "history": prior.get("history", [])
+                + flowsim_prior.get("history", [])
+            }
         print(f"Running engine benchmarks: {', '.join(names)} ...", file=sys.stderr)
         result = run_and_write(
             repeats=args.repeats, path=args.out, scenarios=names
@@ -344,12 +431,20 @@ def main(argv: list[str] | None = None) -> int:
         _print_result(result)
         for name in names:
             rec = result[name]
+            rate = (
+                f"{rec['flows_per_sec']:,} flows/sec"
+                if name.startswith(FLOWSIM_PREFIX)
+                else f"{rec['events_per_sec']:,} events/sec"
+            )
             print(
-                f"{name}: {rec['events_per_sec']:,} events/sec "
+                f"{name}: {rate} "
                 f"(median of {rec['repeats']}, stdev {rec['wall_stdev']}s)",
                 file=sys.stderr,
             )
-        print(f"-> {result['output_file']}", file=sys.stderr)
+        if any(not n.startswith(FLOWSIM_PREFIX) for n in names):
+            print(f"-> {result['output_file']}", file=sys.stderr)
+        if "flowsim_output_file" in result:
+            print(f"-> {result['flowsim_output_file']}", file=sys.stderr)
         if args.gate is not None:
             records = {name: result[name] for name in names}
             ok, messages = check_gate(

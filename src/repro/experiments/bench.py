@@ -38,7 +38,7 @@ import os
 import platform
 import statistics
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
@@ -51,6 +51,20 @@ ENV_BENCH_OUT = "REPRO_BENCH_OUT"
 
 #: default output file (current working directory)
 DEFAULT_BENCH_FILE = "BENCH_engine.json"
+
+#: the fluid tier's own trajectory; always written next to the engine
+#: file so the two histories travel together
+DEFAULT_FLOWSIM_FILE = "BENCH_flowsim.json"
+
+#: scenarios carrying this prefix run at ``fidelity="flow"`` and are
+#: recorded/gated separately (events/second is meaningless when a
+#: whole incast is a handful of rate events)
+FLOWSIM_PREFIX = "flowsim-"
+
+#: flowsim gate fallback when no same-machine history exists: the
+#: fluid tier completes tens of thousands of flows per second; below
+#: this something structural broke
+FLOWS_PER_SEC_FLOOR = 1_000
 
 #: gate fallback when no same-machine history exists: any hardware
 #: does far better than this; below it something structural broke
@@ -126,6 +140,21 @@ def scenario_matrix() -> Dict[str, BenchScenario]:
         duration=ms(1),
         seed=1,
     )
+    # the fluid-tier twins: same scenarios at fidelity="flow", tracked
+    # in their own BENCH_flowsim.json trajectory.  The incast twin uses
+    # the cross-validation variant (Floodgate, burst-sized buffer, a
+    # hard stop that lets the burst drain) so flows actually complete
+    # and flows/second measures the fluid engine, not the build.
+    flowsim_incast = tuple(
+        replace(
+            cfg,
+            fidelity="flow",
+            flow_control="floodgate",
+            buffer_bytes=2_000_000,
+            max_runtime_factor=64.0,
+        )
+        for cfg in incast_sweep
+    )
     return {
         "quick": BenchScenario(
             "quick",
@@ -141,6 +170,22 @@ def scenario_matrix() -> Dict[str, BenchScenario]:
             "fattree-a2a",
             "128-host fat-tree (k=8) Poisson all-to-all",
             (fattree,),
+        ),
+        "flowsim-quick": BenchScenario(
+            "flowsim-quick",
+            "fluid tier: bench-scale incastmix at fidelity=flow",
+            (replace(bench_config(), fidelity="flow"),),
+        ),
+        "flowsim-incast256": BenchScenario(
+            "flowsim-incast256",
+            "fluid tier: incast-degree sweep at fidelity=flow "
+            "(validation variant: Floodgate, drop-free buffer)",
+            flowsim_incast,
+        ),
+        "flowsim-fattree-a2a": BenchScenario(
+            "flowsim-fattree-a2a",
+            "fluid tier: fat-tree Poisson all-to-all at fidelity=flow",
+            (replace(fattree, fidelity="flow"),),
         ),
     }
 
@@ -193,6 +238,7 @@ def run_bench_scenario(spec: BenchScenario, repeats: int = 3) -> Dict:
         "wall_seconds": round(median, 4),
         "wall_stdev": round(stdev, 4),
         "events_per_sec": round(events / median) if median else 0,
+        "flows_per_sec": round(completed / median) if median else 0,
         "sim_time_ns": sim_time,
         "completed_flows": completed,
         "total_flows": total,
@@ -247,7 +293,9 @@ def load_bench_file(path: Union[str, Path]) -> Dict:
 
 
 def append_history(
-    records: Dict[str, Dict], path: Union[str, Path, None] = None
+    records: Dict[str, Dict],
+    path: Union[str, Path, None] = None,
+    benchmark: str = "engine-bench",
 ) -> Dict:
     """Append one history entry for ``records`` and rewrite the file.
 
@@ -267,16 +315,16 @@ def append_history(
     latest = data.get("latest", {})
     latest.update(records)
     data["latest"] = latest
-    data["benchmark"] = "engine-bench"
+    data["benchmark"] = benchmark
     out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(json.dumps(data, indent=2) + "\n")
     return entry
 
 
 def best_history_rate(
-    data: Dict, scenario: str, machine: str
+    data: Dict, scenario: str, machine: str, metric: str = "events_per_sec"
 ) -> Optional[int]:
-    """Best recorded events/second for ``scenario`` on ``machine``.
+    """Best recorded ``metric`` for ``scenario`` on ``machine``.
 
     Entries without a machine tag (legacy records) are skipped — they
     may come from different hardware and would poison the comparison.
@@ -288,7 +336,7 @@ def best_history_rate(
         rec = entry.get("scenarios", {}).get(scenario)
         if not rec:
             continue
-        rate = rec.get("events_per_sec", 0)
+        rate = rec.get(metric, 0)
         if best is None or rate > best:
             best = rate
     return best
@@ -311,22 +359,29 @@ def check_gate(
     ok = True
     messages: List[str] = []
     for name, rec in records.items():
-        rate = rec["events_per_sec"]
-        best = best_history_rate(data, name, machine)
+        # fluid-tier records are gated on flows/second: a whole incast
+        # burst is a handful of rate events, so events/second would
+        # only measure the scenario build
+        if name.startswith(FLOWSIM_PREFIX):
+            metric, unit, floor = "flows_per_sec", "flows/s", FLOWS_PER_SEC_FLOOR
+        else:
+            metric, unit, floor = "events_per_sec", "ev/s", EVENTS_PER_SEC_FLOOR
+        rate = rec[metric]
+        best = best_history_rate(data, name, machine, metric)
         if best is None or best <= 0:
-            bar = EVENTS_PER_SEC_FLOOR
+            bar = floor
             basis = f"absolute floor (no history for machine {machine!r})"
         else:
             bar = round(best * (1.0 - max_regression))
-            basis = f"best same-machine run {best:,} ev/s - {max_regression:.0%}"
+            basis = f"best same-machine run {best:,} {unit} - {max_regression:.0%}"
         if rate < bar:
             ok = False
             messages.append(
-                f"GATE FAIL {name}: {rate:,} ev/s < {bar:,} ({basis})"
+                f"GATE FAIL {name}: {rate:,} {unit} < {bar:,} ({basis})"
             )
         else:
             messages.append(
-                f"gate ok {name}: {rate:,} ev/s >= {bar:,} ({basis})"
+                f"gate ok {name}: {rate:,} {unit} >= {bar:,} ({basis})"
             )
     return ok, messages
 
@@ -344,14 +399,28 @@ def run_and_write(
     path: Union[str, Path, None] = None,
     scenarios: Optional[Iterable[str]] = None,
 ) -> Dict:
-    """Benchmark, append to the trajectory, and return the records.
+    """Benchmark, append to the trajectories, and return the records.
 
-    The return value maps scenario name to its fresh record, plus an
-    ``output_file`` key naming the history file written.
+    Packet-engine records land in the engine file (``path`` /
+    ``$REPRO_BENCH_OUT`` / ``BENCH_engine.json``); ``flowsim-*``
+    records land in ``BENCH_flowsim.json`` next to it.  The return
+    value maps scenario name to its fresh record, plus ``output_file``
+    (engine) and, when flowsim scenarios ran, ``flowsim_output_file``.
     """
     records = run_matrix(scenarios, repeats=repeats)
     out = Path(path or os.environ.get(ENV_BENCH_OUT) or DEFAULT_BENCH_FILE)
-    append_history(records, out)
+    engine = {
+        k: v for k, v in records.items() if not k.startswith(FLOWSIM_PREFIX)
+    }
+    flowsim = {
+        k: v for k, v in records.items() if k.startswith(FLOWSIM_PREFIX)
+    }
     result: Dict = dict(records)
+    if engine:
+        append_history(engine, out)
     result["output_file"] = str(out)
+    if flowsim:
+        flowsim_out = out.with_name(DEFAULT_FLOWSIM_FILE)
+        append_history(flowsim, flowsim_out, benchmark="flowsim-bench")
+        result["flowsim_output_file"] = str(flowsim_out)
     return result

@@ -50,7 +50,7 @@ from repro.telemetry.export import TelemetryExport
 
 #: bump when ResultSummary's layout or the simulation's semantics
 #: change in a way that invalidates previously cached runs
-CACHE_SCHEMA_VERSION = 5  # v5: packet_pool config field
+CACHE_SCHEMA_VERSION = 6  # v6: fidelity tier (packet vs flow-level)
 
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 ENV_PARALLEL = "REPRO_PARALLEL"

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
 
 from repro.experiments.scenario import Scenario, ScenarioConfig
+from repro.flowsim.model import FluidSimulation
 from repro.stats.collector import NON_INCAST, FlowClass, FlowSelector, StatsHub
 from repro.stats.fct import FctSummary, summarize_fct
 from repro.telemetry.export import TelemetryExport
@@ -119,7 +120,13 @@ def run_scenario(
     """Build (unless given), schedule, and run a scenario to completion."""
     wall_start = time.monotonic()  # simcheck: ignore[SIM002] -- wall time for reporting only
     sc = scenario if scenario is not None else Scenario(config)
-    sc.schedule_flows()
+    if sc.config.fidelity == "flow":
+        # fluid tier: same Scenario build (topology, routes, traffic,
+        # CC/flow-control parameters), but flows evolve as rates on the
+        # event loop instead of packets — see repro.flowsim
+        FluidSimulation(sc).schedule()
+    else:
+        sc.schedule_flows()
     sim = sc.sim
     cfg = sc.config
     topo = sc.topology

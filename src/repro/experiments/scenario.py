@@ -57,9 +57,34 @@ class Scale(str, Enum):
     PAPER = "paper"
 
 
+#: legal values for every enumerated config field, used by
+#: ``ScenarioConfig.__post_init__`` — a typo'd value must fail at
+#: construction, not silently run a default
+_VALID_TOPOLOGIES = ("leaf-spine", "fat-tree", "testbed", "dumbbell")
+_VALID_CC = ("dcqcn", "dctcp", "timely", "hpcc", "static")
+_VALID_FLOW_CONTROL = (
+    "none",
+    "floodgate",
+    "floodgate-ideal",
+    "bfc",
+    "pfc-tag",
+    "ndp",
+)
+_VALID_PATTERNS = ("incastmix", "poisson", "incast", "none")
+_VALID_FIDELITY = ("packet", "flow")
+#: flow controls the fluid tier can model (per-dst window caps); the
+#: queue-level baselines have no fluid equivalent
+_FLOW_FIDELITY_FLOW_CONTROL = ("none", "floodgate", "floodgate-ideal")
+
+
 @dataclass(frozen=True)
 class ScenarioConfig:
     """Everything one experiment run needs."""
+
+    # --- fidelity ---------------------------------------------------------
+    #: simulation tier: "packet" runs the per-packet event engine,
+    #: "flow" the fluid max-min rate model (repro.flowsim)
+    fidelity: str = "packet"
 
     # --- topology -----------------------------------------------------------
     topology: str = "leaf-spine"  # leaf-spine | fat-tree | testbed | dumbbell
@@ -131,6 +156,42 @@ class ScenarioConfig:
     #: streams — the determinism suite asserts it — at more GC pressure.
     packet_pool: bool = True
 
+    def __post_init__(self) -> None:
+        """Reject invalid field values at construction time.
+
+        Every enumerated field is checked here rather than deep inside
+        the build, so ``ScenarioConfig(cc="bogus")`` fails immediately
+        with the legal values in the message.  (Misspelled field
+        *names* already fail: dataclasses reject unknown kwargs.)
+        """
+        checks = (
+            ("fidelity", self.fidelity, _VALID_FIDELITY),
+            ("topology", self.topology, _VALID_TOPOLOGIES),
+            ("cc", self.cc, _VALID_CC),
+            ("flow_control", self.flow_control, _VALID_FLOW_CONTROL),
+            ("pattern", self.pattern, _VALID_PATTERNS),
+            ("workload", self.workload, tuple(WORKLOADS)),
+        )
+        for name, value, valid in checks:
+            if value not in valid:
+                raise ValueError(
+                    f"unknown {name} {value!r}; valid values: "
+                    f"{', '.join(valid)}"
+                )
+        if self.fidelity == "flow":
+            if self.flow_control not in _FLOW_FIDELITY_FLOW_CONTROL:
+                raise ValueError(
+                    f"fidelity='flow' cannot model flow_control="
+                    f"{self.flow_control!r}; supported: "
+                    f"{', '.join(_FLOW_FIDELITY_FLOW_CONTROL)}"
+                )
+            if self.fault_plan is not None and self.fault_plan:
+                raise ValueError(
+                    "fault injection requires fidelity='packet' "
+                    "(the fluid model has no packets to drop or links "
+                    "to flap mid-transfer)"
+                )
+
     def resolved(self) -> "ScenarioConfig":
         """Fill in scale-dependent defaults."""
         if self.scale is Scale.PAPER:
@@ -201,6 +262,10 @@ class Scenario:
         self.mix: Optional[IncastMix] = None
         self.flows: List[FlowSpec] = []
         self._build_traffic()
+        #: the fluid engine (repro.flowsim) attaches itself here when
+        #: the runner dispatches a fidelity="flow" run; the sanitizer's
+        #: rate-conservation sweep looks for it
+        self.fluid = None
         self.fault_injector: Optional[FaultInjector] = None
         self.watchdog: Optional[StallWatchdog] = None
         self._install_faults()

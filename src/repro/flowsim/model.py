@@ -1,0 +1,366 @@
+"""The fluid flow-level simulation driven by the existing event engine.
+
+``FluidSimulation`` wraps a built :class:`~repro.experiments.scenario.
+Scenario` and evolves per-flow *rates* instead of per-packet events:
+
+* each flow follows the same ECMP path the packet engine would give its
+  packets (read straight from the switches' route tables);
+* active flows share every directed link by max-min fairness
+  (:func:`repro.flowsim.maxmin.max_min_rates`), recomputed only when a
+  flow arrives or departs;
+* with Floodgate installed, each (switch, per-dst VOQ) contributes an
+  extra shared resource capping the aggregate rate toward that dst at
+  what the credit window can sustain over the next hop's RTT —
+  ``window / hop_rtt`` — mirroring §3.2/§4.2 window sizing (the last
+  hop keeps no window, exactly as in the packet extension);
+* a flow's own rate is ceilinged by its sending window over the base
+  RTT (the ACK-clocking bound), so ``swnd_bdp`` keeps its meaning.
+
+A finished transfer's FCT adds the path's unloaded tail latency —
+propagation plus per-hop store-and-forward serialization of the last
+packet — so unloaded small-flow FCTs agree with the packet engine.
+
+Events run on the scenario's :class:`~repro.sim.engine.Simulator`
+(arrival batches plus one cancellable next-completion event), so the
+runner loop, telemetry samplers, the engine profiler, and simcheck's
+:class:`EventStreamDigest` all work unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.cc.flow import Flow
+from repro.flowsim.maxmin import max_min_rates
+from repro.net.switch import Switch, _ecmp_hash
+from repro.sim.engine import Event
+from repro.stats.fct import FctRecord
+from repro.units import CTRL_PKT_SIZE, MTU, SEC, serialization_delay
+
+#: projected-finish sentinel for starved flows (rate 0: a zero-capacity
+#: resource on the path); far beyond any runner hard stop
+_NEVER = 1 << 62
+
+
+class FluidFlow:
+    """Runtime state of one flow in the fluid model."""
+
+    __slots__ = (
+        "flow",
+        "path",
+        "ceiling",
+        "tail_latency",
+        "remaining_bits",
+        "rate",
+        "proj_finish",
+    )
+
+    def __init__(
+        self,
+        flow: Flow,
+        path: Tuple[int, ...],
+        ceiling: float,
+        tail_latency: int,
+    ) -> None:
+        self.flow = flow
+        self.path = path
+        self.ceiling = ceiling
+        self.tail_latency = tail_latency
+        self.remaining_bits = float(flow.size * 8)
+        self.rate = 0.0
+        self.proj_finish = _NEVER
+
+
+class FluidSimulation:
+    """Flow-level execution of one built scenario."""
+
+    def __init__(self, scenario) -> None:
+        self.scenario = scenario
+        self.sim = scenario.sim
+        self.topology = scenario.topology
+        self.stats = scenario.stats
+        cfg = scenario.config
+        self.config = cfg
+        #: directed link r: capacity of topology.links[r // 2] in the
+        #: a->b (even) or b->a (odd) direction; VOQ resources follow
+        self.capacities: List[float] = []
+        for link in self.topology.links:
+            self.capacities.append(link.bandwidth)
+            self.capacities.append(link.bandwidth)
+        self._link_index: Dict[int, int] = {
+            id(link): i for i, link in enumerate(self.topology.links)
+        }
+        #: Floodgate per-(switch, dst) VOQ resources, created lazily
+        self._voq_resource: Dict[Tuple[int, int], int] = {}
+        self._floodgate_ext: Dict[int, object] = {}
+        if cfg.flow_control in ("floodgate", "floodgate-ideal"):
+            for ext in scenario.extensions:
+                sw = getattr(ext, "switch", None)
+                if sw is not None and hasattr(ext, "_initial_window"):
+                    self._floodgate_ext[sw.node_id] = ext
+        #: per-flow ceiling: the sending window over the base RTT
+        swnd_bytes = max(int(cfg.swnd_bdp * scenario.base_bdp), 2_000)
+        base_rtt = max(scenario.base_rtt, 1)
+        self._flow_ceiling = swnd_bytes * 8.0 * SEC / base_rtt
+        #: (src, dst) -> (resource path, [(bandwidth, delay) hops]);
+        #: per-flow ECMP paths depend on the flow id and bypass it
+        self._path_cache: Dict[Tuple[int, int], Tuple[Tuple[int, ...], Tuple]] = {}
+        self._active: List[FluidFlow] = []
+        self._last_advance = 0
+        self._arrivals: List[FluidFlow] = []
+        self._arrival_cursor = 0
+        self._completion_ev: Optional[Event] = None
+        #: rate recomputations performed (reported via extras/telemetry)
+        self.reallocations = 0
+        # the sanitizer's rate-conservation sweep finds us here
+        scenario.fluid = self
+
+    # -- path construction -------------------------------------------------
+
+    def _route_port(self, sw: Switch, dst: int, flow_id: int) -> int:
+        """The egress port the packet engine would pick (ECMP-faithful)."""
+        entry = sw.routes[dst]
+        if isinstance(entry, int):
+            return entry
+        key = flow_id if self.config.per_flow_ecmp else dst
+        return entry[_ecmp_hash(key) % len(entry)]
+
+    def _voq_cap(self, sw: Switch, dst: int) -> float:
+        """Sustainable rate of a Floodgate per-dst window (bits/s)."""
+        ext = self._floodgate_ext[sw.node_id]
+        window_bits = ext._initial_window(dst) * MTU * 8
+        out = sw.route_for_dst(dst)
+        link = sw.links[out]
+        hop_rtt = (
+            2 * link.delay
+            + serialization_delay(MTU, link.bandwidth)
+            + serialization_delay(CTRL_PKT_SIZE, link.bandwidth)
+        )
+        return window_bits * SEC / max(hop_rtt, 1)
+
+    def _build_path(
+        self, src: int, dst: int, flow_id: int
+    ) -> Tuple[Tuple[int, ...], Tuple]:
+        """Resource indices plus (bandwidth, delay) hops from src to dst."""
+        resources: List[int] = []
+        hops: List[Tuple[float, int]] = []
+        node = self.topology.hosts[src]
+        link = node.links[0]
+        while True:
+            direction = 0 if link.node_a is node else 1
+            resources.append(2 * self._link_index[id(link)] + direction)
+            hops.append((link.bandwidth, link.delay))
+            peer = link.peer_of(node)
+            if not isinstance(peer, Switch):
+                if peer.node_id != dst:  # pragma: no cover - defensive
+                    raise RuntimeError(
+                        f"route walk from {src} to {dst} reached host "
+                        f"{peer.node_id}"
+                    )
+                return tuple(resources), tuple(hops)
+            node = peer
+            if self._floodgate_ext and not node.is_last_hop_for(dst):
+                key = (node.node_id, dst)
+                voq = self._voq_resource.get(key)
+                if voq is None:
+                    voq = len(self.capacities)
+                    self.capacities.append(self._voq_cap(node, dst))
+                    self._voq_resource[key] = voq
+                resources.append(voq)
+            link = node.links[self._route_port(node, dst, flow_id)]
+
+    def _path_of(self, flow: Flow) -> Tuple[Tuple[int, ...], Tuple]:
+        if self.config.per_flow_ecmp:
+            return self._build_path(flow.src, flow.dst, flow.flow_id)
+        key = (flow.src, flow.dst)
+        cached = self._path_cache.get(key)
+        if cached is None:
+            cached = self._build_path(flow.src, flow.dst, flow.flow_id)
+            self._path_cache[key] = cached
+        return cached
+
+    def _tail_latency(self, size: int, hops: Tuple) -> int:
+        """Unloaded delivery lag of the flow's final packet.
+
+        Propagation on every hop plus store-and-forward serialization
+        on every hop after the first: the fluid transfer time already
+        covers clocking the bytes through the source NIC.
+        """
+        last_pkt = min(size, MTU)
+        total = 0
+        for i, (bandwidth, delay) in enumerate(hops):
+            total += delay
+            if i:
+                total += serialization_delay(last_pkt, bandwidth)
+        return total
+
+    # -- scheduling --------------------------------------------------------
+
+    def schedule(self, specs=None) -> None:
+        """Register every flow and schedule its arrival event."""
+        topo = self.topology
+        flows = [
+            topo.make_flow(s.flow_id, s.src, s.dst, s.size, s.start_time)
+            for s in (specs if specs is not None else self.scenario.flows)
+        ]
+        flows.sort(key=lambda f: (f.start_time, f.flow_id))
+        now = self.sim.now
+        for flow in flows:
+            path, hops = self._path_of(flow)
+            self._arrivals.append(
+                FluidFlow(
+                    flow,
+                    path,
+                    self._flow_ceiling,
+                    self._tail_latency(flow.size, hops),
+                )
+            )
+        # one event per distinct arrival instant, batch-loaded
+        times = sorted(
+            {max(ff.flow.start_time, now) for ff in self._arrivals}
+        )
+        self.sim.schedule_many((t, self._process, ()) for t in times)
+
+    # -- the fluid step ----------------------------------------------------
+
+    def _advance(self, now: int) -> None:
+        dt = now - self._last_advance
+        if dt > 0:
+            factor = dt / SEC
+            for ff in self._active:
+                if ff.rate > 0.0:
+                    ff.remaining_bits -= ff.rate * factor
+        self._last_advance = now
+
+    def _complete_due(self, now: int) -> bool:
+        """Retire flows whose projected finish has arrived."""
+        done = [
+            ff
+            for ff in self._active
+            if ff.proj_finish <= now or ff.remaining_bits <= 0.0
+        ]
+        if not done:
+            return False
+        self._active = [ff for ff in self._active if ff not in done]
+        topo = self.topology
+        stats = self.stats
+        for ff in done:
+            flow = ff.flow
+            ff.remaining_bits = 0.0
+            finish = now + ff.tail_latency
+            flow.finish_time = finish
+            flow.delivered_bytes = flow.size
+            flow.sender_done = True
+            flow.expected_seq = flow.n_packets
+            flow.acked_seq = flow.n_packets
+            dst_host = topo.hosts[flow.dst]
+            dst_host.rx_data_bytes += flow.size
+            if stats is not None:
+                stats.record_rx(flow.flow_id, flow.size)
+                stats.record_fct(
+                    FctRecord(
+                        flow.flow_id,
+                        flow.src,
+                        flow.dst,
+                        flow.size,
+                        flow.start_time,
+                        finish,
+                    )
+                )
+            if dst_host.on_flow_done is not None:
+                dst_host.on_flow_done(flow)
+        return True
+
+    def _admit(self, now: int) -> bool:
+        arrived = False
+        arrivals = self._arrivals
+        cursor = self._arrival_cursor
+        while cursor < len(arrivals) and arrivals[cursor].flow.start_time <= now:
+            self._active.append(arrivals[cursor])
+            cursor += 1
+            arrived = True
+        self._arrival_cursor = cursor
+        return arrived
+
+    def _reallocate(self, now: int) -> None:
+        """Recompute max-min rates and projected finishes."""
+        self.reallocations += 1
+        active = self._active
+        if not active:
+            return
+        # compress to the resources the active set actually touches
+        local: Dict[int, int] = {}
+        caps: List[float] = []
+        paths: List[Tuple[int, ...]] = []
+        for ff in active:
+            compressed = []
+            for r in ff.path:
+                li = local.get(r)
+                if li is None:
+                    li = len(caps)
+                    local[r] = li
+                    caps.append(self.capacities[r])
+                compressed.append(li)
+            paths.append(tuple(compressed))
+        rates = max_min_rates(paths, [ff.ceiling for ff in active], caps)
+        for ff, rate in zip(active, rates, strict=True):
+            ff.rate = rate
+            if rate > 0.0 and ff.remaining_bits > 0.0:
+                ff.proj_finish = now + int(
+                    math.ceil(ff.remaining_bits * SEC / rate)
+                )
+            else:
+                ff.proj_finish = _NEVER
+
+    def _schedule_next_completion(self) -> None:
+        nxt = _NEVER
+        for ff in self._active:
+            if ff.proj_finish < nxt:
+                nxt = ff.proj_finish
+        ev = self._completion_ev
+        if nxt == _NEVER:
+            if ev is not None:
+                ev.cancel()
+                self._completion_ev = None
+            return
+        if ev is not None and not ev.cancelled and ev.time == nxt:
+            return
+        if ev is not None:
+            ev.cancel()
+        self._completion_ev = self.sim.schedule_at(nxt, self._process)
+
+    def _process(self) -> None:
+        """One fluid step: advance, retire, admit, re-share, re-arm."""
+        now = self.sim.now
+        self._advance(now)
+        changed = self._complete_due(now)
+        changed = self._admit(now) or changed
+        if changed:
+            self._reallocate(now)
+        self._schedule_next_completion()
+
+    # -- invariants (consumed by repro.simcheck.sanitizer) -----------------
+
+    def conservation_errors(self) -> List[str]:
+        """Rate-conservation violations: per-resource load vs capacity.
+
+        The max-min allocation must never oversubscribe a directed link
+        (or a Floodgate VOQ cap); a violation here means the allocator
+        produced physically impossible rates.
+        """
+        load: Dict[int, float] = {}
+        for ff in self._active:
+            for r in ff.path:
+                load[r] = load.get(r, 0.0) + ff.rate
+        errors: List[str] = []
+        n_links = 2 * len(self.topology.links)
+        for r in sorted(load):
+            cap = self.capacities[r]
+            if load[r] > cap * (1.0 + 1e-6):
+                kind = "link" if r < n_links else "floodgate-voq"
+                errors.append(
+                    f"rate conservation broken on {kind} resource {r}: "
+                    f"allocated {load[r]:.0f} bps > capacity {cap:.0f} bps"
+                )
+        return errors

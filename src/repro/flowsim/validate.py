@@ -1,0 +1,222 @@
+"""Cross-validation: fluid tier vs the packet engine, same scenarios.
+
+``cross_validate`` runs each bench scenario (quick, incast256,
+fattree-a2a) at both fidelities and compares FCT percentiles over the
+**matched** flow set — flows completed in *both* runs.  Matching
+matters: a straggler that beats the hard stop in one mode but not the
+other would shift nearest-rank percentiles and report divergence where
+the per-flow agreement is actually tight.
+
+The incast256 validation variant tweaks the perf-bench configs in two
+ways, both documented in DESIGN.md "Fidelity tiers":
+
+* ``max_runtime_factor=64`` — the perf matrix cuts runs off long
+  before a 255-fan-in burst can drain a 10 Gbps link; validation needs
+  completed flows on both sides.
+* ``flow_control="floodgate"`` + a buffer that fits the burst — the
+  fluid model has no loss model, so it is validated in the drop-free
+  regime it claims to approximate.  (Under incast collapse — shallow
+  buffers, no flow control, go-back-N retransmitting most of the
+  burst — the fluid tier *knowingly* overestimates goodput; that
+  regime needs the packet engine.)
+
+Thresholds: p50/p99 divergence within ``tolerance`` is asserted for
+quick and incast256; fattree-a2a is report-only (Poisson queueing
+delay is outside the fluid model).  The incast256 aggregate wall-clock
+speedup is asserted against ``min_speedup``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.bench import scenario_matrix
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenario import ScenarioConfig
+from repro.stats.fct import summarize_fct
+
+#: p50/p99 divergence budget asserted for quick and incast256
+DEFAULT_TOLERANCE = 0.15
+
+#: asserted aggregate wall-clock speedup for incast256
+DEFAULT_MIN_SPEEDUP = 20.0
+
+#: scenarios whose FCT divergence is asserted (not just reported)
+ASSERTED_SCENARIOS = ("quick", "incast256")
+
+#: the scenario whose aggregate speedup is asserted
+SPEEDUP_SCENARIO = "incast256"
+
+
+@dataclass(frozen=True)
+class ConfigComparison:
+    """Both-fidelity results for one config of one scenario."""
+
+    scenario: str
+    config_index: int
+    matched_flows: int
+    packet_only_flows: int
+    flow_only_flows: int
+    packet_wall: float
+    flow_wall: float
+    p50_packet_ns: int
+    p50_flow_ns: int
+    p99_packet_ns: int
+    p99_flow_ns: int
+
+    @property
+    def p50_divergence(self) -> float:
+        if self.p50_packet_ns <= 0:
+            return 0.0
+        return abs(self.p50_flow_ns - self.p50_packet_ns) / self.p50_packet_ns
+
+    @property
+    def p99_divergence(self) -> float:
+        if self.p99_packet_ns <= 0:
+            return 0.0
+        return abs(self.p99_flow_ns - self.p99_packet_ns) / self.p99_packet_ns
+
+    @property
+    def speedup(self) -> float:
+        if self.flow_wall <= 0.0:
+            return float("inf")
+        return self.packet_wall / self.flow_wall
+
+    def as_dict(self) -> Dict:
+        return {
+            "scenario": self.scenario,
+            "config_index": self.config_index,
+            "matched_flows": self.matched_flows,
+            "packet_only_flows": self.packet_only_flows,
+            "flow_only_flows": self.flow_only_flows,
+            "packet_wall_seconds": round(self.packet_wall, 4),
+            "flow_wall_seconds": round(self.flow_wall, 4),
+            "speedup": round(self.speedup, 2),
+            "p50_packet_ns": self.p50_packet_ns,
+            "p50_flow_ns": self.p50_flow_ns,
+            "p50_divergence": round(self.p50_divergence, 4),
+            "p99_packet_ns": self.p99_packet_ns,
+            "p99_flow_ns": self.p99_flow_ns,
+            "p99_divergence": round(self.p99_divergence, 4),
+        }
+
+
+def validation_configs(scenario: str) -> Tuple[ScenarioConfig, ...]:
+    """The bench scenario's configs, adjusted for FCT comparison.
+
+    See the module docstring for why incast256 differs from the perf
+    matrix here.
+    """
+    matrix = scenario_matrix()
+    if scenario not in matrix:
+        raise ValueError(
+            f"unknown validation scenario {scenario!r}; "
+            f"choose from {sorted(matrix)}"
+        )
+    configs = matrix[scenario].configs
+    if scenario == "incast256":
+        configs = tuple(
+            replace(
+                cfg,
+                max_runtime_factor=64.0,
+                flow_control="floodgate",
+                buffer_bytes=2_000_000,
+            )
+            for cfg in configs
+        )
+    return configs
+
+
+def compare_config(
+    scenario: str, index: int, config: ScenarioConfig
+) -> ConfigComparison:
+    """Run ``config`` at both fidelities and compare matched FCTs."""
+    packet = run_scenario(replace(config, fidelity="packet"))
+    flow = run_scenario(replace(config, fidelity="flow"))
+    by_id_packet = {r.flow_id: r for r in packet.stats.fct_records}
+    by_id_flow = {r.flow_id: r for r in flow.stats.fct_records}
+    matched = sorted(set(by_id_packet) & set(by_id_flow))
+    sp = summarize_fct([by_id_packet[f] for f in matched])
+    sf = summarize_fct([by_id_flow[f] for f in matched])
+    return ConfigComparison(
+        scenario=scenario,
+        config_index=index,
+        matched_flows=len(matched),
+        packet_only_flows=len(by_id_packet) - len(matched),
+        flow_only_flows=len(by_id_flow) - len(matched),
+        packet_wall=packet.wall_seconds,
+        flow_wall=flow.wall_seconds,
+        p50_packet_ns=sp.p50_ns,
+        p50_flow_ns=sf.p50_ns,
+        p99_packet_ns=sp.p99_ns,
+        p99_flow_ns=sf.p99_ns,
+    )
+
+
+def cross_validate(
+    scenarios: Optional[Sequence[str]] = None,
+    tolerance: float = DEFAULT_TOLERANCE,
+    min_speedup: float = DEFAULT_MIN_SPEEDUP,
+) -> Tuple[bool, List[ConfigComparison], List[str]]:
+    """Validate the fluid tier against the packet engine.
+
+    Returns ``(ok, comparisons, messages)``.  ``ok`` is False when an
+    asserted scenario's p50/p99 divergence exceeds ``tolerance`` on a
+    config with matched flows, or when the incast256 aggregate speedup
+    (when that scenario was run) falls below ``min_speedup``.
+    """
+    names = list(scenarios) if scenarios else list(scenario_matrix())
+    ok = True
+    comparisons: List[ConfigComparison] = []
+    messages: List[str] = []
+    for name in names:
+        packet_total = flow_total = 0.0
+        for index, cfg in enumerate(validation_configs(name)):
+            cmp = compare_config(name, index, cfg)
+            comparisons.append(cmp)
+            packet_total += cmp.packet_wall
+            flow_total += cmp.flow_wall
+            asserted = name in ASSERTED_SCENARIOS
+            if cmp.matched_flows == 0:
+                messages.append(
+                    f"{name}[{index}]: no matched flows "
+                    f"(packet-only={cmp.packet_only_flows}, "
+                    f"flow-only={cmp.flow_only_flows}); divergence skipped"
+                )
+                continue
+            line = (
+                f"{name}[{index}]: n={cmp.matched_flows} "
+                f"p50 {cmp.p50_packet_ns}ns vs {cmp.p50_flow_ns}ns "
+                f"({cmp.p50_divergence:.1%}), "
+                f"p99 {cmp.p99_packet_ns}ns vs {cmp.p99_flow_ns}ns "
+                f"({cmp.p99_divergence:.1%}), speedup {cmp.speedup:.1f}x"
+            )
+            if asserted and (
+                cmp.p50_divergence > tolerance
+                or cmp.p99_divergence > tolerance
+            ):
+                ok = False
+                messages.append(
+                    f"FAIL {line} — divergence above {tolerance:.0%}"
+                )
+            else:
+                messages.append(
+                    ("ok   " if asserted else "info ") + line
+                )
+        if name == SPEEDUP_SCENARIO and min_speedup > 0:
+            speedup = (
+                packet_total / flow_total if flow_total > 0 else float("inf")
+            )
+            if speedup < min_speedup:
+                ok = False
+                messages.append(
+                    f"FAIL {name}: aggregate speedup {speedup:.1f}x "
+                    f"below required {min_speedup:.0f}x"
+                )
+            else:
+                messages.append(
+                    f"ok   {name}: aggregate speedup {speedup:.1f}x "
+                    f">= {min_speedup:.0f}x"
+                )
+    return ok, comparisons, messages

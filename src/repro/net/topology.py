@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.cc.flow import Flow
 from repro.net.host import Host
@@ -99,43 +99,153 @@ class Topology:
     # -- routing --------------------------------------------------------------------
 
     def compute_routes(self) -> None:
-        """Populate every switch's route table with BFS/ECMP entries."""
-        for host in self.hosts:
-            self._routes_to(host)
+        """Populate every switch's route table with BFS/ECMP entries.
 
-    def _routes_to(self, dst: Host) -> None:
-        dist: Dict[int, int] = {dst.node_id: 0}
-        frontier: deque[Node] = deque([dst])
-        nodes: Dict[int, Node] = {dst.node_id: dst}
-        while frontier:
-            node = frontier.popleft()
-            d = dist[node.node_id]
+        The per-destination BFS runs over a dense integer adjacency
+        built once (hosts first, then switches): node-object traversal
+        with per-visit ``peer_of`` calls and dict-keyed distances
+        dominated build time on 256-host fabrics.
+        """
+        n_hosts = len(self.hosts)
+        index_of: Dict[int, int] = {}
+        for i, host in enumerate(self.hosts):
+            index_of[host.node_id] = i
+        for j, switch in enumerate(self.switches):
+            index_of[switch.node_id] = n_hosts + j
+        adj: List[List[Tuple[int, bool]]] = [
+            [] for _ in range(n_hosts + len(self.switches))
+        ]
+        for node in (*self.hosts, *self.switches):
+            entries = adj[index_of[node.node_id]]
             for link in node.links:
                 peer = link.peer_of(node)
-                if peer.node_id not in dist:
-                    dist[peer.node_id] = d + 1
-                    nodes[peer.node_id] = peer
+                entries.append(
+                    (index_of[peer.node_id], isinstance(peer, Switch))
+                )
+        switch_neighbors = [
+            [peer_idx for peer_idx, _ in adj[n_hosts + j]]
+            for j in range(len(self.switches))
+        ]
+        if any(len(host.links) != 1 for host in self.hosts):
+            # exotic (multi-homed) hosts: per-destination BFS
+            for host in self.hosts:
+                self._routes_to(
+                    host, index_of[host.node_id], adj, switch_neighbors, n_hosts
+                )
+            return
+        # single-homed hosts (every built topology): all hosts behind
+        # one ToR share every route except the ToR's own last hop, so
+        # one BFS per rack replaces one BFS per host
+        racks: Dict[int, List[Host]] = {}
+        for host in self.hosts:
+            tor_idx = index_of[host.links[0].peer_of(host).node_id] - n_hosts
+            racks.setdefault(tor_idx, []).append(host)
+        for tor_idx in sorted(racks):
+            self._routes_via_tor(
+                tor_idx, racks[tor_idx], adj, switch_neighbors, n_hosts
+            )
+
+    def _routes_via_tor(
+        self,
+        tor_idx: int,
+        rack_hosts: List[Host],
+        adj: List[List[Tuple[int, bool]]],
+        switch_neighbors: List[List[int]],
+        n_hosts: int,
+    ) -> None:
+        """Install routes for every (single-homed) host behind one ToR.
+
+        BFS over the switch graph rooted at the ToR; a host's distance
+        is its ToR's plus one, so the shortest-path port sets at every
+        other switch are identical for all hosts on the rack and are
+        computed once.  Produces exactly the entries :meth:`_routes_to`
+        would.
+        """
+        n_switches = len(switch_neighbors)
+        dist = [-1] * n_switches
+        dist[tor_idx] = 0
+        frontier: deque[int] = deque([tor_idx])
+        while frontier:
+            node_idx = frontier.popleft()
+            d = dist[node_idx] + 1
+            for peer_idx, is_switch in adj[n_hosts + node_idx]:
+                if is_switch and dist[peer_idx - n_hosts] < 0:
+                    dist[peer_idx - n_hosts] = d
+                    frontier.append(peer_idx - n_hosts)
+        # shared candidate sets: ports toward the rack, per switch
+        shared: List[Optional[Union[int, Tuple[int, ...]]]] = [None] * n_switches
+        for j, neighbor_ids in enumerate(switch_neighbors):
+            if j == tor_idx or dist[j] < 0:
+                continue
+            want = dist[j] - 1
+            candidates = [
+                idx
+                for idx, peer_idx in enumerate(neighbor_ids)
+                if peer_idx >= n_hosts and dist[peer_idx - n_hosts] == want
+            ]
+            if candidates:
+                shared[j] = (
+                    candidates[0]
+                    if len(candidates) == 1
+                    else tuple(candidates)
+                )
+        tor = self.switches[tor_idx]
+        tor_neighbors = switch_neighbors[tor_idx]
+        switches = self.switches
+        for host in rack_hosts:
+            dst_id = host.node_id
+            host_idx = 0  # hosts are indexed by contiguous node id
+            for idx, peer_idx in enumerate(tor_neighbors):
+                if peer_idx == dst_id:
+                    host_idx = idx
+                    break
+            tor.set_route(dst_id, host_idx)
+            tor.connected_hosts[dst_id] = host_idx
+            for j in range(n_switches):
+                entry = shared[j]
+                if entry is not None:
+                    switches[j].set_route(dst_id, entry)
+
+    def _routes_to(
+        self,
+        dst: Host,
+        dst_idx: int,
+        adj: List[List[Tuple[int, bool]]],
+        switch_neighbors: List[List[int]],
+        n_hosts: int,
+    ) -> None:
+        dist = [-1] * len(adj)
+        dist[dst_idx] = 0
+        frontier: deque[int] = deque([dst_idx])
+        while frontier:
+            node_idx = frontier.popleft()
+            d = dist[node_idx] + 1
+            for peer_idx, is_switch in adj[node_idx]:
+                if dist[peer_idx] < 0:
+                    dist[peer_idx] = d
                     # hosts other than dst never forward traffic
-                    if isinstance(peer, Switch):
-                        frontier.append(peer)
-        for switch in self.switches:
-            my_dist = dist.get(switch.node_id)
-            if my_dist is None:
+                    if is_switch:
+                        frontier.append(peer_idx)
+        dst_id = dst.node_id
+        for j, neighbor_ids in enumerate(switch_neighbors):
+            my_dist = dist[n_hosts + j]
+            if my_dist < 0:
                 continue  # disconnected from this dst
-            candidates: List[int] = []
-            for idx, link in enumerate(switch.links):
-                peer = link.peer_of(switch)
-                peer_dist = dist.get(peer.node_id)
-                if peer_dist is not None and peer_dist == my_dist - 1:
-                    candidates.append(idx)
+            want = my_dist - 1
+            candidates = [
+                idx
+                for idx, peer_idx in enumerate(neighbor_ids)
+                if dist[peer_idx] == want
+            ]
             if not candidates:
                 continue
+            switch = self.switches[j]
             if len(candidates) == 1:
-                switch.set_route(dst.node_id, candidates[0])
+                switch.set_route(dst_id, candidates[0])
             else:
-                switch.set_route(dst.node_id, tuple(candidates))
+                switch.set_route(dst_id, tuple(candidates))
             if my_dist == 1:
-                switch.connected_hosts[dst.node_id] = candidates[0]
+                switch.connected_hosts[dst_id] = candidates[0]
 
     def finalize(self) -> None:
         """Compute routes, create switch buffers, wire completion; call once."""

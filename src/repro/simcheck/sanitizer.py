@@ -28,6 +28,9 @@ run and again at the end:
    its release/recycle counters, holds no duplicates, and is disjoint
    from every in-flight packet (a free-listed packet reachable from a
    queue, VOQ, or heap entry is a use-after-free in the making).
+7. **Rate conservation** (fluid tier only) — the max-min allocation
+   never oversubscribes a directed link or Floodgate VOQ cap: the sum
+   of allocated flow rates on each resource stays within its capacity.
 
 Violations are collected (with sim timestamps) rather than raised,
 unless ``strict=True``.  Enable per run via
@@ -200,6 +203,7 @@ class SimSanitizer:
         self._check_windows()
         self._check_credits(inflight_credit)
         self._check_pool()
+        self._check_flow_rates()
 
     def final_check(self) -> None:
         """End-of-run sweep (the periodic task must be stopped first)."""
@@ -376,6 +380,19 @@ class SimSanitizer:
                         f"use-after-free: packet in pending event "
                         f"{name} is also on the pool free list"
                     )
+
+    def _check_flow_rates(self) -> None:
+        """Fluid-tier rate conservation (no-op on packet-level runs).
+
+        The packet sweeps above all pass vacuously in flow mode (zero
+        packets anywhere); this is the invariant that actually bites
+        there — allocated rates must fit inside every link and VOQ cap.
+        """
+        fluid = getattr(self.scenario, "fluid", None)
+        if fluid is None:
+            return
+        for message in fluid.conservation_errors():
+            self.record(message)
 
     # -- reporting ----------------------------------------------------------
 

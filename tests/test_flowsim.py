@@ -1,0 +1,160 @@
+"""Fluid tier: max-min allocator, flow-fidelity runs, config validation."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.parallel import config_fingerprint
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenario import ScenarioConfig
+from repro.faults.plan import FaultPlan
+from repro.flowsim import max_min_rates
+from repro.simcheck.determinism import check_repeatable
+from repro.simcheck.sanitizer import SanitizerConfig
+from repro.units import us
+
+INF = float("inf")
+
+
+def tiny_cfg(**overrides) -> ScenarioConfig:
+    base = dict(
+        flow_control="floodgate",
+        n_tors=3,
+        hosts_per_tor=2,
+        duration=us(200),
+        seed=5,
+    )
+    base.update(overrides)
+    return ScenarioConfig(**base)
+
+
+# -- the allocator ------------------------------------------------------------
+
+
+def test_maxmin_empty_input():
+    assert max_min_rates([], [], [10.0]) == []
+
+
+def test_maxmin_single_bottleneck_fair_share():
+    paths = [(0,), (0,), (0,)]
+    rates = max_min_rates(paths, [INF, INF, INF], [30.0])
+    assert rates == pytest.approx([10.0, 10.0, 10.0])
+
+
+def test_maxmin_ceiling_frees_capacity_for_the_rest():
+    # one flow capped at 2 on a 10-capacity resource: the other takes 8
+    rates = max_min_rates([(0,), (0,)], [2.0, INF], [10.0])
+    assert rates == pytest.approx([2.0, 8.0])
+
+
+def test_maxmin_multi_resource_waterfilling():
+    # A crosses both resources, B only the tight one, C only the wide
+    # one.  r1 (cap 4) saturates first at level 2, freezing A and B;
+    # C then fills what A left on r0.
+    paths = [(0, 1), (1,), (0,)]
+    rates = max_min_rates(paths, [INF, INF, INF], [10.0, 4.0])
+    assert rates == pytest.approx([2.0, 2.0, 8.0])
+    # full conservation on both resources
+    assert rates[0] + rates[2] == pytest.approx(10.0)
+    assert rates[0] + rates[1] == pytest.approx(4.0)
+
+
+def test_maxmin_resource_free_flow_sits_at_its_ceiling():
+    rates = max_min_rates([(), (0,)], [3.0, INF], [10.0])
+    assert rates == pytest.approx([3.0, 10.0])
+
+
+def test_maxmin_is_deterministic_across_calls():
+    paths = [(0, 1), (1, 2), (0, 2), (1,)]
+    ceilings = [5.0, INF, 7.5, INF]
+    caps = [10.0, 6.0, 9.0]
+    first = max_min_rates(paths, ceilings, caps)
+    assert all(
+        max_min_rates(paths, ceilings, caps) == first for _ in range(5)
+    )
+
+
+# -- flow-fidelity runs -------------------------------------------------------
+
+
+def test_flow_fidelity_run_completes_flows():
+    result = run_scenario(tiny_cfg(fidelity="flow"))
+    assert result.completed_flows > 0
+    assert result.completed_flows == len(result.stats.fct_records)
+    assert all(r.fct > 0 for r in result.stats.fct_records)
+    # delivered what the flow table promised
+    assert result.completed_flows <= result.total_flows
+
+
+def test_flow_fidelity_matches_packet_flow_population():
+    # same config/seed: both tiers schedule the identical flow set
+    packet = run_scenario(tiny_cfg(fidelity="packet"))
+    flow = run_scenario(tiny_cfg(fidelity="flow"))
+    assert flow.total_flows == packet.total_flows
+
+
+def test_flow_fidelity_sanitized_run_is_clean():
+    cfg = tiny_cfg(fidelity="flow", sanitize=SanitizerConfig())
+    result = run_scenario(cfg)
+    assert result.sanitizer_violations == []
+    assert result.completed_flows > 0
+
+
+def test_flow_fidelity_same_seed_runs_are_byte_identical():
+    rep = check_repeatable(tiny_cfg(fidelity="flow"))
+    assert rep["ok"], rep
+    assert rep["violations"] == []
+
+
+# -- config validation (satellite: invalid fields raise at construction) ------
+
+
+def test_unknown_fidelity_raises_at_construction():
+    with pytest.raises(ValueError, match="unknown fidelity"):
+        tiny_cfg(fidelity="bogus")
+
+
+@pytest.mark.parametrize(
+    "field, value",
+    [
+        ("topology", "ring"),
+        ("cc", "hpcc2"),
+        ("flow_control", "magic"),
+        ("pattern", "bursty"),
+        ("workload", "nonexistent-trace"),
+    ],
+)
+def test_unknown_enumerated_fields_raise_at_construction(field, value):
+    with pytest.raises(ValueError, match=f"unknown {field}"):
+        tiny_cfg(**{field: value})
+
+
+def test_flow_fidelity_rejects_queue_level_flow_control():
+    with pytest.raises(ValueError, match="cannot model flow_control"):
+        tiny_cfg(fidelity="flow", flow_control="bfc")
+
+
+def test_flow_fidelity_rejects_fault_injection():
+    with pytest.raises(ValueError, match="fault injection requires"):
+        tiny_cfg(fidelity="flow", fault_plan=FaultPlan(stall_window=us(10)))
+
+
+def test_empty_fault_plan_is_fine_at_flow_fidelity():
+    cfg = tiny_cfg(fidelity="flow", fault_plan=FaultPlan())
+    assert cfg.fidelity == "flow"
+
+
+def test_misspelled_config_field_raises():
+    with pytest.raises(TypeError):
+        tiny_cfg(fidelty="flow")
+
+
+# -- cache identity -----------------------------------------------------------
+
+
+def test_fidelity_enters_the_config_fingerprint():
+    packet = config_fingerprint(replace(tiny_cfg(), fidelity="packet"))
+    flow = config_fingerprint(replace(tiny_cfg(), fidelity="flow"))
+    assert packet != flow

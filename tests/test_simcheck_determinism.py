@@ -5,6 +5,7 @@ from __future__ import annotations
 import os
 import subprocess
 import sys
+from dataclasses import replace
 from pathlib import Path
 
 import pytest
@@ -114,6 +115,36 @@ def test_packet_pool_actually_recycles():
     assert sc.pool.enabled
     assert sc.pool.recycled > 100  # reborn packets, not a no-op pool
     assert sc.pool.released > sc.pool.recycled  # free list is non-empty
+
+
+@pytest.mark.parametrize("fidelity", ["packet", "flow"])
+def test_fidelity_roundtrip_serial_pooled_cached_identical(fidelity, tmp_path):
+    """Serial, pooled, and cache-served sweeps agree at both fidelities.
+
+    The summary round-trips through the process pool and the disk
+    cache with the fidelity field intact and byte-identical canonical
+    payloads — the same guarantee the packet tier already has.
+    """
+    from repro.experiments.parallel import SweepTask, run_sweep
+
+    configs = {
+        "a": replace(tiny_cfg("floodgate", seed=5), fidelity=fidelity),
+        "b": replace(tiny_cfg("floodgate", seed=6), fidelity=fidelity),
+    }
+    tasks = [SweepTask(key=k, config=c) for k, c in sorted(configs.items())]
+    serial = run_sweep(tasks, cache=False, serial=True)
+    pooled = run_sweep(tasks, cache=False, serial=False)
+    primed = run_sweep(tasks, cache=tmp_path, serial=True)
+    cached = run_sweep(tasks, cache=tmp_path, serial=True)
+    for key in configs:
+        assert cached[key].from_cache
+        assert cached[key].config.fidelity == fidelity
+        assert serial[key].completed_flows > 0
+        payloads = {
+            run[key].canonical_bytes()
+            for run in (serial, pooled, primed, cached)
+        }
+        assert len(payloads) == 1, key
 
 
 def test_run_suite_rejects_unknown_schemes():
