@@ -1,0 +1,46 @@
+"""Closed-loop rpc throughput benchmark (tracked via BENCH_rpc.json).
+
+Runs the ``rpc-*`` scenarios (packet and fluid tier), appends history
+entries to the repo-root ``BENCH_rpc.json`` trajectory, and asserts a
+requests/second floor.  Like the engine benchmark, the floor guards
+against structural collapses only; the CI gate
+(``repro.cli bench --gate``) handles relative regressions against
+same-machine history.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from benchmarks.conftest import show
+
+from repro.experiments.bench import REQUESTS_PER_SEC_FLOOR, run_and_write
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+ENGINE_FILE = REPO_ROOT / "BENCH_engine.json"
+RPC_FILE = REPO_ROOT / "BENCH_rpc.json"
+
+
+def test_rpc_requests_per_sec(once):
+    result = once(
+        run_and_write,
+        repeats=1,
+        path=ENGINE_FILE,
+        scenarios=["rpc-fanout", "rpc-fanout-flow"],
+    )
+    assert result["rpc_output_file"] == str(RPC_FILE)
+    assert RPC_FILE.exists()
+    rows = []
+    for name in ("rpc-fanout", "rpc-fanout-flow"):
+        rec = result[name]
+        rows.append(
+            f"{name}: {rec['requests_per_sec']:,} req/s wall, "
+            f"{rec['completed_requests']} requests, "
+            f"{rec['completed_flows']}/{rec['total_flows']} flows"
+        )
+        assert rec["completed_requests"] > 0
+        assert rec["requests_per_sec"] >= REQUESTS_PER_SEC_FLOOR
+        # the closed loop keeps every client busy: each completed
+        # request fans out requests + responses, so flows track requests
+        assert rec["completed_flows"] >= rec["completed_requests"]
+    show("RPC perf (BENCH_rpc.json)", "\n".join(rows))

@@ -1,0 +1,29 @@
+"""Bench: closed-loop rpc — p999 request latency vs fan-out."""
+
+from benchmarks.conftest import show
+from repro.experiments.figures import rpc_fanout
+
+
+def test_rpc_floodgate_wins_p999_at_high_fanout(once):
+    result = once(rpc_fanout.run, quick=True)
+    fan_outs = result["fan_outs"]
+    lines = []
+    for label in rpc_fanout.SCHEMES:
+        for fan in fan_outs:
+            cell = result[label][fan]
+            lines.append(
+                f"{label:10s} fan_out={fan:2d}  n={cell['requests']:3d}"
+                f"  p999 {cell['p999_us']:8.1f} us"
+                f"  {cell['requests_per_sec']:7,d} req/s"
+            )
+    show("RPC: p999 request latency vs fan-out", "\n".join(lines))
+
+    # the request-level claim: Floodgate beats both baselines on tail
+    # request latency once the fan-in is large enough to congest
+    assert result["floodgate_wins_p999_at_max_fanout"]
+    top = max(fan_outs)
+    fg = result["floodgate"][top]
+    for label in ("dcqcn", "pfc-tag"):
+        assert fg["p999_us"] < result[label][top]["p999_us"]
+        # the closed loop rewards the lower tail with more requests
+        assert fg["requests_per_sec"] >= result[label][top]["requests_per_sec"]

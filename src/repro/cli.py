@@ -6,9 +6,10 @@ Usage::
     floodgate-experiment run fig10 [--full]
     floodgate-experiment run tab02
     floodgate-experiment faults [--loss-rates 0.01 0.05] [--schemes floodgate ndp]
-    floodgate-experiment bench [--scenario quick|incast256|fattree-a2a|
-                                           flowsim-...|all]
+    floodgate-experiment bench [--scenario <registry name>|all]
                                [--repeats 3] [--gate] [--out BENCH_engine.json]
+    floodgate-experiment scenarios list [--tag bench]
+    floodgate-experiment scenarios show NAME
     floodgate-experiment validate-flowsim [--scenario quick ...]
                                           [--tolerance 0.15] [--min-speedup 20]
     floodgate-experiment report [--scheme floodgate] [--out run.jsonl]
@@ -50,6 +51,7 @@ EXPERIMENTS: Dict[str, tuple[str, str]] = {
     "fig24": ("fig24_pfctag", "comparison with PFC w/ tag"),
     "sec74": ("sec74_resources", "switch resource overhead"),
     "faults": ("fault_sweep", "fault-injection sweep: loss x fault type x scheme"),
+    "rpc": ("rpc_fanout", "closed-loop rpc: p999 request latency vs fan-out"),
 }
 
 
@@ -73,21 +75,39 @@ def _report(args) -> int:
         print(render_export(export, width=args.width))
         return 0
 
+    from dataclasses import replace
+
     from repro.experiments.figures.common import incastmix_base
     from repro.experiments.runner import run_scenario
     from repro.telemetry.registry import TelemetryConfig
 
-    cfg = incastmix_base(
-        quick=not args.full,
-        workload=args.workload,
-        flow_control=args.scheme,
-        seed=args.seed,
-        telemetry=TelemetryConfig(),
-    )
-    print(
-        f"Running instrumented {args.scheme} / {args.workload} run ...",
-        file=sys.stderr,
-    )
+    if args.scenario is not None:
+        from repro.experiments import registry
+
+        try:
+            entry = registry.get(args.scenario)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        cfg = replace(
+            entry.configs[0], seed=args.seed, telemetry=TelemetryConfig()
+        )
+        print(
+            f"Running instrumented scenario {entry.name!r} ...",
+            file=sys.stderr,
+        )
+    else:
+        cfg = incastmix_base(
+            quick=not args.full,
+            workload=args.workload,
+            flow_control=args.scheme,
+            seed=args.seed,
+            telemetry=TelemetryConfig(),
+        )
+        print(
+            f"Running instrumented {args.scheme} / {args.workload} run ...",
+            file=sys.stderr,
+        )
     start = time.monotonic()
     result = run_scenario(cfg)
     elapsed = time.monotonic() - start
@@ -102,6 +122,43 @@ def _report(args) -> int:
         result.telemetry.write(args.out)
         print(f"export written to {args.out}", file=sys.stderr)
     print(f"done in {elapsed:.1f}s", file=sys.stderr)
+    return 0
+
+
+def _scenarios(args) -> int:
+    """The `scenarios` subcommand: inspect the declarative registry."""
+    import dataclasses
+
+    from repro.experiments import registry
+
+    if args.action == "list":
+        names = registry.names(tag=args.tag)
+        if not names:
+            print(f"no scenarios tagged {args.tag!r}", file=sys.stderr)
+            return 1
+        width = max(len(n) for n in names)
+        for name in names:
+            entry = registry.get(name)
+            tags = ",".join(entry.tags)
+            print(f"{name:{width}s}  [{tags}]  {entry.description}")
+        return 0
+
+    # show
+    try:
+        entry = registry.get(args.name)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"name:        {entry.name}")
+    print(f"description: {entry.description}")
+    print(f"tags:        {', '.join(entry.tags) or '-'}")
+    print(f"gate metric: {entry.gate_metric}")
+    if entry.notes:
+        print(f"notes:       {entry.notes}")
+    print(f"configs:     {len(entry.configs)}")
+    for i, cfg in enumerate(entry.configs):
+        print(f"--- config [{i}] ---")
+        _print_result(dataclasses.asdict(cfg))
     return 0
 
 
@@ -197,18 +254,11 @@ def main(argv: list[str] | None = None) -> int:
         "--scenario",
         nargs="+",
         default=["quick"],
-        choices=[
-            "quick",
-            "incast256",
-            "fattree-a2a",
-            "flowsim-quick",
-            "flowsim-incast256",
-            "flowsim-fattree-a2a",
-            "all",
-        ],
-        help="benchmark scenario(s) to run; 'all' runs the full matrix, "
-        "flowsim-* scenarios run the fluid tier and land in "
-        "BENCH_flowsim.json (default: quick)",
+        metavar="NAME",
+        help="benchmark scenario(s) to run, by registry name (see "
+        "`scenarios list --tag bench`); 'all' runs the full matrix, "
+        "flowsim-* scenarios land in BENCH_flowsim.json and rpc-* in "
+        "BENCH_rpc.json (default: quick)",
     )
     bench_p.add_argument(
         "--repeats",
@@ -277,6 +327,14 @@ def main(argv: list[str] | None = None) -> int:
         help="render a previously saved telemetry JSONL instead of running",
     )
     report_p.add_argument(
+        "--scenario",
+        default=None,
+        metavar="NAME",
+        help="run a registry scenario (see `scenarios list`) instead of "
+        "the default incastmix run; rpc scenarios add the request-level "
+        "SLO section",
+    )
+    report_p.add_argument(
         "--scheme",
         default="floodgate",
         choices=["none", "floodgate", "floodgate-ideal", "bfc", "ndp"],
@@ -300,6 +358,23 @@ def main(argv: list[str] | None = None) -> int:
     report_p.add_argument(
         "--width", type=int, default=72, help="chart width in columns"
     )
+    scenarios_p = sub.add_parser(
+        "scenarios",
+        help="inspect the declarative scenario registry",
+    )
+    scenarios_sub = scenarios_p.add_subparsers(dest="action", required=True)
+    scenarios_list_p = scenarios_sub.add_parser(
+        "list", help="list registered scenarios"
+    )
+    scenarios_list_p.add_argument(
+        "--tag",
+        default=None,
+        help="only scenarios carrying this tag (e.g. bench, rpc, flowsim)",
+    )
+    scenarios_show_p = scenarios_sub.add_parser(
+        "show", help="print one scenario's full config(s)"
+    )
+    scenarios_show_p.add_argument("name", help="registry name")
     check_p = sub.add_parser(
         "check",
         help="determinism lint (SIM001..SIM004); --sanitize adds the "
@@ -390,6 +465,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "report":
         return _report(args)
 
+    if args.command == "scenarios":
+        return _scenarios(args)
+
     if args.command == "check":
         return _check(args)
 
@@ -398,8 +476,9 @@ def main(argv: list[str] | None = None) -> int:
 
         from repro.experiments.bench import (
             DEFAULT_FLOWSIM_FILE,
-            FLOWSIM_PREFIX,
+            DEFAULT_RPC_FILE,
             check_gate,
+            gate_metric_for,
             load_bench_file,
             run_and_write,
             scenario_matrix,
@@ -407,44 +486,56 @@ def main(argv: list[str] | None = None) -> int:
 
         if args.repeats < 1:
             parser.error(f"--repeats must be >= 1, got {args.repeats}")
+        matrix = scenario_matrix()
         names = (
-            list(scenario_matrix())
+            list(matrix)
             if "all" in args.scenario
             else list(dict.fromkeys(args.scenario))
         )
+        unknown = [n for n in names if n not in matrix]
+        if unknown:
+            parser.error(
+                f"unknown benchmark scenario(s) {', '.join(unknown)}; "
+                f"available scenarios: {', '.join(matrix)} (or 'all')"
+            )
+        metrics = {name: gate_metric_for(name) for name in names}
         # gate against the history as it stood *before* this run's
         # entry was appended, so a regression cannot hide behind itself
         out = args.out or os.environ.get("REPRO_BENCH_OUT") or "BENCH_engine.json"
         prior = load_bench_file(out)
-        if any(n.startswith(FLOWSIM_PREFIX) for n in names):
-            flowsim_prior = load_bench_file(
-                Path(out).with_name(DEFAULT_FLOWSIM_FILE)
-            )
+        side_files = {
+            "flows_per_sec": DEFAULT_FLOWSIM_FILE,
+            "requests_per_sec": DEFAULT_RPC_FILE,
+        }
+        for side in {side_files[m] for m in metrics.values() if m in side_files}:
+            side_prior = load_bench_file(Path(out).with_name(side))
             prior = {
                 "history": prior.get("history", [])
-                + flowsim_prior.get("history", [])
+                + side_prior.get("history", [])
             }
         print(f"Running engine benchmarks: {', '.join(names)} ...", file=sys.stderr)
         result = run_and_write(
             repeats=args.repeats, path=args.out, scenarios=names
         )
         _print_result(result)
+        units = {
+            "events_per_sec": "events/sec",
+            "flows_per_sec": "flows/sec",
+            "requests_per_sec": "requests/sec",
+        }
         for name in names:
             rec = result[name]
-            rate = (
-                f"{rec['flows_per_sec']:,} flows/sec"
-                if name.startswith(FLOWSIM_PREFIX)
-                else f"{rec['events_per_sec']:,} events/sec"
-            )
+            metric = metrics[name]
             print(
-                f"{name}: {rate} "
+                f"{name}: {rec[metric]:,} {units[metric]} "
                 f"(median of {rec['repeats']}, stdev {rec['wall_stdev']}s)",
                 file=sys.stderr,
             )
-        if any(not n.startswith(FLOWSIM_PREFIX) for n in names):
+        if any(m == "events_per_sec" for m in metrics.values()):
             print(f"-> {result['output_file']}", file=sys.stderr)
-        if "flowsim_output_file" in result:
-            print(f"-> {result['flowsim_output_file']}", file=sys.stderr)
+        for key in ("flowsim_output_file", "rpc_output_file"):
+            if key in result:
+                print(f"-> {result[key]}", file=sys.stderr)
         if args.gate is not None:
             records = {name: result[name] for name in names}
             ok, messages = check_gate(

@@ -1,7 +1,8 @@
 """Engine performance benchmarks: a named scenario matrix with history.
 
-Three fixed-seed scenarios cover the regimes the engine must stay fast
-in:
+The matrix is the ``bench``-tagged slice of the declarative scenario
+registry (``repro.experiments.registry``).  The fixed-seed scenarios
+cover the regimes the engine must stay fast in:
 
 * ``quick`` — the §6.1 incastmix substrate at bench scale (the
   canonical record tracked PR over PR; this is what CI gates on);
@@ -9,7 +10,11 @@ in:
   64/128/255), the pause/credit-heavy regime where control traffic
   dominates;
 * ``fattree-a2a`` — a 128-host fat-tree (k=8) under Poisson
-  all-to-all, the multi-hop routing-heavy regime.
+  all-to-all, the multi-hop routing-heavy regime;
+* ``flowsim-*`` — fluid-tier twins, gated on flows/s into
+  ``BENCH_flowsim.json``;
+* ``rpc-*`` — closed-loop rpc workloads (repro.rpc), gated on
+  requests/s into ``BENCH_rpc.json``.
 
 Each scenario is timed ``--repeats`` times (default 3) and reported as
 the *median* wall time with its stdev, so one GC pause or noisy
@@ -38,13 +43,13 @@ import os
 import platform
 import statistics
 import time
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
+from repro.experiments import registry
 from repro.experiments.runner import run_scenario
 from repro.experiments.scenario import ScenarioConfig
-from repro.units import ms
 
 #: env override for where ``BENCH_engine.json`` lands
 ENV_BENCH_OUT = "REPRO_BENCH_OUT"
@@ -56,19 +61,38 @@ DEFAULT_BENCH_FILE = "BENCH_engine.json"
 #: file so the two histories travel together
 DEFAULT_FLOWSIM_FILE = "BENCH_flowsim.json"
 
+#: closed-loop rpc trajectory, also written next to the engine file
+DEFAULT_RPC_FILE = "BENCH_rpc.json"
+
 #: scenarios carrying this prefix run at ``fidelity="flow"`` and are
 #: recorded/gated separately (events/second is meaningless when a
 #: whole incast is a handful of rate events)
 FLOWSIM_PREFIX = "flowsim-"
+
+#: closed-loop rpc scenarios: recorded in their own trajectory and
+#: gated on requests/second (the number the subsystem exists to serve)
+RPC_PREFIX = "rpc-"
 
 #: flowsim gate fallback when no same-machine history exists: the
 #: fluid tier completes tens of thousands of flows per second; below
 #: this something structural broke
 FLOWS_PER_SEC_FLOOR = 1_000
 
+#: rpc gate fallback: the bench-scale closed loop completes tens of
+#: requests per wall second even on slow hardware; below this
+#: something structural broke
+REQUESTS_PER_SEC_FLOOR = 10
+
 #: gate fallback when no same-machine history exists: any hardware
 #: does far better than this; below it something structural broke
 EVENTS_PER_SEC_FLOOR = 40_000
+
+#: gate metric -> (record key, display unit, absolute floor)
+_GATE_METRICS = {
+    "events_per_sec": ("events_per_sec", "ev/s", EVENTS_PER_SEC_FLOOR),
+    "flows_per_sec": ("flows_per_sec", "flows/s", FLOWS_PER_SEC_FLOOR),
+    "requests_per_sec": ("requests_per_sec", "req/s", REQUESTS_PER_SEC_FLOOR),
+}
 
 #: the CI gate's default regression budget (fraction of the best
 #: same-machine events/second)
@@ -93,101 +117,38 @@ class BenchScenario:
 
 
 def bench_config() -> ScenarioConfig:
-    """The canonical fixed-seed ``quick`` scenario.
-
-    Mirrors ``figures.common.quick_overrides`` (the bench-scale
-    incastmix substrate) with the webserver workload — the heaviest of
-    the quick-scale figure runs, and deterministic at seed 1.
-    """
-    return ScenarioConfig(
-        workload="webserver",
-        cc="dcqcn",
-        n_tors=4,
-        hosts_per_tor=4,
-        duration=600_000,
-        buffer_bytes=500_000,
-        incast_load=0.8,
-        incast_fan_in=16,
-        seed=1,
-    )
+    """The canonical fixed-seed ``quick`` scenario (from the registry)."""
+    return registry.get("quick").configs[0]
 
 
 def scenario_matrix() -> Dict[str, BenchScenario]:
-    """The full named matrix, in canonical order."""
-    incast_sweep = tuple(
-        ScenarioConfig(
-            workload="websearch",
-            cc="dcqcn",
-            n_tors=16,
-            hosts_per_tor=16,
-            n_spines=4,
-            pattern="incast",
-            incast_fan_in=fan_in,
-            incast_load=0.8,
-            duration=200_000,
-            seed=1,
-        )
-        for fan_in in (64, 128, 255)
-    )
-    fattree = ScenarioConfig(
-        topology="fat-tree",
-        fat_tree_k=8,
-        hosts_per_edge=4,
-        workload="websearch",
-        cc="dcqcn",
-        pattern="poisson",
-        poisson_load=0.6,
-        duration=ms(1),
-        seed=1,
-    )
-    # the fluid-tier twins: same scenarios at fidelity="flow", tracked
-    # in their own BENCH_flowsim.json trajectory.  The incast twin uses
-    # the cross-validation variant (Floodgate, burst-sized buffer, a
-    # hard stop that lets the burst drain) so flows actually complete
-    # and flows/second measures the fluid engine, not the build.
-    flowsim_incast = tuple(
-        replace(
-            cfg,
-            fidelity="flow",
-            flow_control="floodgate",
-            buffer_bytes=2_000_000,
-            max_runtime_factor=64.0,
-        )
-        for cfg in incast_sweep
-    )
+    """The full named matrix, in canonical order.
+
+    Derived from the ``bench``-tagged entries of the declarative
+    scenario registry (``repro.experiments.registry``) — the registry
+    is the single source of truth for what exists and how it is gated;
+    this view only adapts the shape the bench runners consume.
+    """
     return {
-        "quick": BenchScenario(
-            "quick",
-            "bench-scale incastmix (16 hosts, webserver); the CI gate",
-            (bench_config(),),
-        ),
-        "incast256": BenchScenario(
-            "incast256",
-            "256-host leaf-spine incast-degree sweep (fan-in 64/128/255)",
-            incast_sweep,
-        ),
-        "fattree-a2a": BenchScenario(
-            "fattree-a2a",
-            "128-host fat-tree (k=8) Poisson all-to-all",
-            (fattree,),
-        ),
-        "flowsim-quick": BenchScenario(
-            "flowsim-quick",
-            "fluid tier: bench-scale incastmix at fidelity=flow",
-            (replace(bench_config(), fidelity="flow"),),
-        ),
-        "flowsim-incast256": BenchScenario(
-            "flowsim-incast256",
-            "fluid tier: incast-degree sweep at fidelity=flow "
-            "(validation variant: Floodgate, drop-free buffer)",
-            flowsim_incast,
-        ),
-        "flowsim-fattree-a2a": BenchScenario(
-            "flowsim-fattree-a2a",
-            "fluid tier: fat-tree Poisson all-to-all at fidelity=flow",
-            (replace(fattree, fidelity="flow"),),
-        ),
+        entry.name: BenchScenario(entry.name, entry.description, entry.configs)
+        for entry in registry.entries(tag="bench")
     }
+
+
+def gate_metric_for(scenario: str) -> str:
+    """The throughput metric ``scenario`` is gated on.
+
+    Registered scenarios declare it; unregistered names (historical
+    records, ad-hoc entries) fall back to the prefix conventions the
+    history files are organized around.
+    """
+    if scenario in registry.names():
+        return registry.get(scenario).gate_metric
+    if scenario.startswith(FLOWSIM_PREFIX):
+        return "flows_per_sec"
+    if scenario.startswith(RPC_PREFIX):
+        return "requests_per_sec"
+    return "events_per_sec"
 
 
 def machine_fingerprint() -> str:
@@ -211,10 +172,10 @@ def run_bench_scenario(spec: BenchScenario, repeats: int = 3) -> Dict:
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
     walls: List[float] = []
-    events = completed = total = sim_time = -1
+    events = completed = total = sim_time = requests = -1
     for _ in range(repeats):
         wall = 0.0
-        ev = done = flows = stime = 0
+        ev = done = flows = stime = reqs = 0
         for cfg in spec.configs:
             r = run_scenario(cfg)
             wall += r.wall_seconds
@@ -222,12 +183,18 @@ def run_bench_scenario(spec: BenchScenario, repeats: int = 3) -> Dict:
             done += r.completed_flows
             flows += r.total_flows
             stime += r.sim_time
-        if events >= 0 and (ev, done, flows) != (events, completed, total):
+            reqs += r.completed_requests
+        if events >= 0 and (ev, done, flows, reqs) != (
+            events,
+            completed,
+            total,
+            requests,
+        ):
             raise RuntimeError(
                 f"benchmark {spec.name!r} is nondeterministic across "
                 f"repeats: {ev} events vs {events} on the previous run"
             )
-        events, completed, total, sim_time = ev, done, flows, stime
+        events, completed, total, sim_time, requests = ev, done, flows, stime, reqs
         walls.append(wall)
     median = statistics.median(walls)
     stdev = statistics.stdev(walls) if len(walls) > 1 else 0.0
@@ -239,9 +206,11 @@ def run_bench_scenario(spec: BenchScenario, repeats: int = 3) -> Dict:
         "wall_stdev": round(stdev, 4),
         "events_per_sec": round(events / median) if median else 0,
         "flows_per_sec": round(completed / median) if median else 0,
+        "requests_per_sec": round(requests / median) if median else 0,
         "sim_time_ns": sim_time,
         "completed_flows": completed,
         "total_flows": total,
+        "completed_requests": requests,
         "repeats": repeats,
     }
 
@@ -359,14 +328,13 @@ def check_gate(
     ok = True
     messages: List[str] = []
     for name, rec in records.items():
-        # fluid-tier records are gated on flows/second: a whole incast
-        # burst is a handful of rate events, so events/second would
-        # only measure the scenario build
-        if name.startswith(FLOWSIM_PREFIX):
-            metric, unit, floor = "flows_per_sec", "flows/s", FLOWS_PER_SEC_FLOOR
-        else:
-            metric, unit, floor = "events_per_sec", "ev/s", EVENTS_PER_SEC_FLOOR
-        rate = rec[metric]
+        # each scenario declares its own metric in the registry:
+        # fluid-tier records gate on flows/second (a whole incast burst
+        # is a handful of rate events, so events/second would only
+        # measure the scenario build) and closed-loop rpc records on
+        # requests/second (the number the subsystem exists to serve)
+        metric, unit, floor = _GATE_METRICS[gate_metric_for(name)]
+        rate = rec.get(metric, 0)
         best = best_history_rate(data, name, machine, metric)
         if best is None or best <= 0:
             bar = floor
@@ -403,17 +371,21 @@ def run_and_write(
 
     Packet-engine records land in the engine file (``path`` /
     ``$REPRO_BENCH_OUT`` / ``BENCH_engine.json``); ``flowsim-*``
-    records land in ``BENCH_flowsim.json`` next to it.  The return
-    value maps scenario name to its fresh record, plus ``output_file``
-    (engine) and, when flowsim scenarios ran, ``flowsim_output_file``.
+    records land in ``BENCH_flowsim.json`` and ``rpc-*`` records in
+    ``BENCH_rpc.json``, both next to it.  The return value maps
+    scenario name to its fresh record, plus ``output_file`` (engine)
+    and, when they ran, ``flowsim_output_file`` / ``rpc_output_file``.
     """
     records = run_matrix(scenarios, repeats=repeats)
     out = Path(path or os.environ.get(ENV_BENCH_OUT) or DEFAULT_BENCH_FILE)
-    engine = {
-        k: v for k, v in records.items() if not k.startswith(FLOWSIM_PREFIX)
-    }
+    rpc = {k: v for k, v in records.items() if k.startswith(RPC_PREFIX)}
     flowsim = {
-        k: v for k, v in records.items() if k.startswith(FLOWSIM_PREFIX)
+        k: v
+        for k, v in records.items()
+        if k.startswith(FLOWSIM_PREFIX) and k not in rpc
+    }
+    engine = {
+        k: v for k, v in records.items() if k not in rpc and k not in flowsim
     }
     result: Dict = dict(records)
     if engine:
@@ -423,4 +395,8 @@ def run_and_write(
         flowsim_out = out.with_name(DEFAULT_FLOWSIM_FILE)
         append_history(flowsim, flowsim_out, benchmark="flowsim-bench")
         result["flowsim_output_file"] = str(flowsim_out)
+    if rpc:
+        rpc_out = out.with_name(DEFAULT_RPC_FILE)
+        append_history(rpc, rpc_out, benchmark="rpc-bench")
+        result["rpc_output_file"] = str(rpc_out)
     return result

@@ -46,11 +46,12 @@ from repro.experiments.runner import ScenarioResult, run_scenario
 from repro.experiments.scenario import ScenarioConfig
 from repro.stats.collector import NON_INCAST, FlowClass, FlowSelector, StatsHub
 from repro.stats.fct import FctSummary, summarize_fct
+from repro.stats.rpc import RpcSummary, requests_per_sec, summarize_rpc
 from repro.telemetry.export import TelemetryExport
 
 #: bump when ResultSummary's layout or the simulation's semantics
 #: change in a way that invalidates previously cached runs
-CACHE_SCHEMA_VERSION = 6  # v6: fidelity tier (packet vs flow-level)
+CACHE_SCHEMA_VERSION = 7  # v7: closed-loop rpc workloads + request stats
 
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 ENV_PARALLEL = "REPRO_PARALLEL"
@@ -112,6 +113,22 @@ class ResultSummary:
 
     def fct_summary(self, cls: Union[FlowClass, FlowSelector]) -> FctSummary:
         return summarize_fct(self.stats.fct_of_class(cls))
+
+    # -- request-level SLOs (closed-loop rpc workloads) --------------------
+
+    @property
+    def rpc_summary(self) -> RpcSummary:
+        """p50/p99/p999 request latency (empty summary if not rpc)."""
+        return summarize_rpc(self.stats.rpc_records)
+
+    @property
+    def completed_requests(self) -> int:
+        return len(self.stats.rpc_records)
+
+    @property
+    def requests_per_sec(self) -> float:
+        """Achieved request throughput over the simulated window."""
+        return requests_per_sec(self.completed_requests, self.sim_time)
 
     # -- buffers ------------------------------------------------------------------
 

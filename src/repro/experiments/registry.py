@@ -1,0 +1,256 @@
+"""Declarative scenario registry: named scenarios as data.
+
+Every named scenario the tooling refers to — the bench matrix, the
+fluid-tier twins, the closed-loop rpc workloads — lives here as one
+:class:`ScenarioEntry`: a name, a description, the config sequence it
+runs, free-form tags, and the throughput metric its bench records are
+gated on.  ``bench.py`` derives its matrix from the ``bench`` tag and
+``cli.py`` derives its ``--scenario`` choices and the ``scenarios
+list``/``scenarios show`` subcommands from the same table, so adding a
+workload is config, not code spread over three files.
+
+Naming conventions carried over from the bench matrix (the gate and
+the history files key off them):
+
+* ``flowsim-*`` — runs at ``fidelity="flow"``, gated on flows/s,
+  recorded in ``BENCH_flowsim.json``;
+* ``rpc-*`` — closed-loop rpc workloads, gated on requests/s,
+  recorded in ``BENCH_rpc.json``;
+* everything else — the packet engine, gated on events/s, recorded in
+  ``BENCH_engine.json``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments.scenario import ScenarioConfig
+from repro.rpc.spec import RpcWorkloadSpec
+from repro.units import ms, us
+
+#: metrics a bench record can be gated on (keys of the record dict)
+GATE_METRICS = ("events_per_sec", "flows_per_sec", "requests_per_sec")
+
+
+@dataclass(frozen=True)
+class ScenarioEntry:
+    """One named scenario: pure data, no behavior.
+
+    Multi-config entries (the incast-degree sweep) are treated as one
+    unit wherever they run: a bench repeat runs every config once.
+    """
+
+    name: str
+    description: str
+    configs: Tuple[ScenarioConfig, ...]
+    tags: Tuple[str, ...] = ()
+    #: throughput metric the bench gate tracks for this scenario
+    gate_metric: str = "events_per_sec"
+    #: extra knob documentation shown by ``scenarios show``
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("scenario entries need a non-empty name")
+        if not self.configs:
+            raise ValueError(
+                f"scenario {self.name!r} needs at least one config"
+            )
+        if self.gate_metric not in GATE_METRICS:
+            raise ValueError(
+                f"scenario {self.name!r}: unknown gate_metric "
+                f"{self.gate_metric!r}; valid values: "
+                f"{', '.join(GATE_METRICS)}"
+            )
+
+
+_REGISTRY: Dict[str, ScenarioEntry] = {}
+
+
+def register(entry: ScenarioEntry) -> ScenarioEntry:
+    """Add ``entry`` to the registry (duplicate names are an error)."""
+    if entry.name in _REGISTRY:
+        raise ValueError(f"scenario {entry.name!r} is already registered")
+    _REGISTRY[entry.name] = entry
+    return entry
+
+
+def get(name: str) -> ScenarioEntry:
+    """Look up a scenario; unknown names list what is available."""
+    entry = _REGISTRY.get(name)
+    if entry is None:
+        raise ValueError(
+            f"unknown scenario {name!r}; available scenarios: "
+            f"{', '.join(names())}"
+        )
+    return entry
+
+
+def names(tag: Optional[str] = None) -> List[str]:
+    """Registered names in registration (canonical) order."""
+    return [
+        name
+        for name, entry in _REGISTRY.items()
+        if tag is None or tag in entry.tags
+    ]
+
+
+def entries(tag: Optional[str] = None) -> List[ScenarioEntry]:
+    return [_REGISTRY[name] for name in names(tag)]
+
+
+# -- built-in entries ---------------------------------------------------------
+
+
+def _quick_config() -> ScenarioConfig:
+    """The canonical fixed-seed ``quick`` scenario.
+
+    Mirrors ``figures.common.quick_overrides`` (the bench-scale
+    incastmix substrate) with the webserver workload — the heaviest of
+    the quick-scale figure runs, and deterministic at seed 1.
+    """
+    return ScenarioConfig(
+        workload="webserver",
+        cc="dcqcn",
+        n_tors=4,
+        hosts_per_tor=4,
+        duration=600_000,
+        buffer_bytes=500_000,
+        incast_load=0.8,
+        incast_fan_in=16,
+        seed=1,
+    )
+
+
+def _rpc_fanout_config() -> ScenarioConfig:
+    """The canonical closed-loop rpc scenario at bench scale.
+
+    Eight clients on the 16-host leaf-spine substrate, each spraying
+    8-way requests under Zipf-skewed shard placement with Floodgate
+    holding the fan-in — the regime the rpc subsystem exists for.
+    """
+    return ScenarioConfig(
+        pattern="rpc",
+        rpc=RpcWorkloadSpec(
+            n_clients=8,
+            fan_out=8,
+            think_time=us(20),
+            server_selection="zipf",
+            zipf_alpha=1.2,
+        ),
+        flow_control="floodgate",
+        cc="dcqcn",
+        n_tors=4,
+        hosts_per_tor=4,
+        duration=600_000,
+        buffer_bytes=500_000,
+        seed=1,
+    )
+
+
+def _builtin_entries() -> List[ScenarioEntry]:
+    incast_sweep = tuple(
+        ScenarioConfig(
+            workload="websearch",
+            cc="dcqcn",
+            n_tors=16,
+            hosts_per_tor=16,
+            n_spines=4,
+            pattern="incast",
+            incast_fan_in=fan_in,
+            incast_load=0.8,
+            duration=200_000,
+            seed=1,
+        )
+        for fan_in in (64, 128, 255)
+    )
+    fattree = ScenarioConfig(
+        topology="fat-tree",
+        fat_tree_k=8,
+        hosts_per_edge=4,
+        workload="websearch",
+        cc="dcqcn",
+        pattern="poisson",
+        poisson_load=0.6,
+        duration=ms(1),
+        seed=1,
+    )
+    # the fluid-tier twins: same scenarios at fidelity="flow".  The
+    # incast twin uses the cross-validation variant (Floodgate,
+    # burst-sized buffer, a hard stop that lets the burst drain) so
+    # flows actually complete and flows/second measures the fluid
+    # engine, not the build.
+    flowsim_incast = tuple(
+        replace(
+            cfg,
+            fidelity="flow",
+            flow_control="floodgate",
+            buffer_bytes=2_000_000,
+            max_runtime_factor=64.0,
+        )
+        for cfg in incast_sweep
+    )
+    return [
+        ScenarioEntry(
+            "quick",
+            "bench-scale incastmix (16 hosts, webserver); the CI gate",
+            (_quick_config(),),
+            tags=("bench", "packet"),
+        ),
+        ScenarioEntry(
+            "incast256",
+            "256-host leaf-spine incast-degree sweep (fan-in 64/128/255)",
+            incast_sweep,
+            tags=("bench", "packet"),
+        ),
+        ScenarioEntry(
+            "fattree-a2a",
+            "128-host fat-tree (k=8) Poisson all-to-all",
+            (fattree,),
+            tags=("bench", "packet"),
+        ),
+        ScenarioEntry(
+            "flowsim-quick",
+            "fluid tier: bench-scale incastmix at fidelity=flow",
+            (replace(_quick_config(), fidelity="flow"),),
+            tags=("bench", "flowsim"),
+            gate_metric="flows_per_sec",
+        ),
+        ScenarioEntry(
+            "flowsim-incast256",
+            "fluid tier: incast-degree sweep at fidelity=flow "
+            "(validation variant: Floodgate, drop-free buffer)",
+            flowsim_incast,
+            tags=("bench", "flowsim"),
+            gate_metric="flows_per_sec",
+        ),
+        ScenarioEntry(
+            "flowsim-fattree-a2a",
+            "fluid tier: fat-tree Poisson all-to-all at fidelity=flow",
+            (replace(fattree, fidelity="flow"),),
+            tags=("bench", "flowsim"),
+            gate_metric="flows_per_sec",
+        ),
+        ScenarioEntry(
+            "rpc-fanout",
+            "closed-loop rpc: 8 clients x 8-way fan-out, Zipf shards, "
+            "Floodgate (16 hosts)",
+            (_rpc_fanout_config(),),
+            tags=("bench", "rpc", "packet"),
+            gate_metric="requests_per_sec",
+            notes="gated on requests/s; recorded in BENCH_rpc.json",
+        ),
+        ScenarioEntry(
+            "rpc-fanout-flow",
+            "fluid tier: the rpc-fanout closed loop at fidelity=flow",
+            (replace(_rpc_fanout_config(), fidelity="flow"),),
+            tags=("bench", "rpc", "flowsim"),
+            gate_metric="requests_per_sec",
+            notes="gated on requests/s; recorded in BENCH_rpc.json",
+        ),
+    ]
+
+
+for _entry in _builtin_entries():
+    register(_entry)

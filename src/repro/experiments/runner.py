@@ -15,6 +15,7 @@ from repro.experiments.scenario import Scenario, ScenarioConfig
 from repro.flowsim.model import FluidSimulation
 from repro.stats.collector import NON_INCAST, FlowClass, FlowSelector, StatsHub
 from repro.stats.fct import FctSummary, summarize_fct
+from repro.stats.rpc import RpcSummary, requests_per_sec, summarize_rpc
 from repro.telemetry.export import TelemetryExport
 from repro.units import us
 
@@ -50,6 +51,22 @@ class ScenarioResult:
 
     def fct_summary(self, cls: Union[FlowClass, FlowSelector]) -> FctSummary:
         return summarize_fct(self.stats.fct_of_class(cls))
+
+    # -- request-level SLOs (closed-loop rpc workloads) --------------------
+
+    @property
+    def rpc_summary(self) -> RpcSummary:
+        """p50/p99/p999 request latency (empty summary if not rpc)."""
+        return summarize_rpc(self.stats.rpc_records)
+
+    @property
+    def completed_requests(self) -> int:
+        return len(self.stats.rpc_records)
+
+    @property
+    def requests_per_sec(self) -> float:
+        """Achieved request throughput over the simulated window."""
+        return requests_per_sec(self.completed_requests, self.sim_time)
 
     # -- buffers ------------------------------------------------------------------
 
@@ -120,27 +137,39 @@ def run_scenario(
     """Build (unless given), schedule, and run a scenario to completion."""
     wall_start = time.monotonic()  # simcheck: ignore[SIM002] -- wall time for reporting only
     sc = scenario if scenario is not None else Scenario(config)
+    fluid = None
     if sc.config.fidelity == "flow":
         # fluid tier: same Scenario build (topology, routes, traffic,
         # CC/flow-control parameters), but flows evolve as rates on the
         # event loop instead of packets — see repro.flowsim
-        FluidSimulation(sc).schedule()
+        fluid = FluidSimulation(sc)
+        fluid.schedule()
     else:
         sc.schedule_flows()
+    driver = sc.rpc_driver
+    if driver is not None:
+        driver.start(fluid)
     sim = sc.sim
     cfg = sc.config
     topo = sc.topology
-    total = len(topo.flow_table)
     hard_end = int(cfg.duration * cfg.max_runtime_factor)
     # completion is an O(1) counter kept by the hosts' flow-done
-    # callbacks (Topology.completed_flows), not an O(total) table scan
+    # callbacks (Topology.completed_flows), not an O(total) table scan.
+    # Closed-loop drivers grow the flow table while the run progresses,
+    # so `total` is re-read each check rather than captured once.
     while True:
         next_stop = min(sim.now + check_interval, hard_end)
         sim.run(until=next_stop)
-        if topo.completed_flows >= total or sim.now >= hard_end:
+        total = len(topo.flow_table)
+        if topo.completed_flows >= total and (
+            driver is None or driver.finished
+        ):
+            break
+        if sim.now >= hard_end:
             break
         if sim.peek_next_time() is None:
             break  # drained without completing (e.g. unrecovered loss)
+    total = len(topo.flow_table)
     topo.report_pause_times()
     if sc.watchdog is not None:
         if topo.completed_flows < total:

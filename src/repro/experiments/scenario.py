@@ -38,6 +38,8 @@ from repro.net.topology import (
     build_leaf_spine,
     build_testbed,
 )
+from repro.rpc.driver import ClosedLoopDriver
+from repro.rpc.spec import RpcWorkloadSpec
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngRegistry
 from repro.simcheck.sanitizer import SanitizerConfig, SimSanitizer
@@ -70,7 +72,7 @@ _VALID_FLOW_CONTROL = (
     "pfc-tag",
     "ndp",
 )
-_VALID_PATTERNS = ("incastmix", "poisson", "incast", "none")
+_VALID_PATTERNS = ("incastmix", "poisson", "incast", "rpc", "none")
 _VALID_FIDELITY = ("packet", "flow")
 #: flow controls the fluid tier can model (per-dst window caps); the
 #: queue-level baselines have no fluid equivalent
@@ -126,6 +128,10 @@ class ScenarioConfig:
     incast_load: float = 0.5
     incast_fan_in: int = 0        # 0 -> every host outside the dst rack
     incast_dst: int = 0
+    #: closed-loop RPC workload (repro.rpc); required iff pattern="rpc".
+    #: Plain frozen data, so it hashes into the sweep cache key like
+    #: ``fault_plan``.
+    rpc: Optional[RpcWorkloadSpec] = None
     duration: int = 0             # ns of traffic generation; 0 -> default
     seed: int = 1
 
@@ -178,6 +184,27 @@ class ScenarioConfig:
                     f"unknown {name} {value!r}; valid values: "
                     f"{', '.join(valid)}"
                 )
+        if self.pattern == "rpc" and self.rpc is None:
+            raise ValueError(
+                "pattern='rpc' needs a workload description: pass "
+                "rpc=RpcWorkloadSpec(...) (see repro.rpc.spec for the knobs)"
+            )
+        if self.rpc is not None and self.pattern != "rpc":
+            raise ValueError(
+                f"an RpcWorkloadSpec was given but pattern is "
+                f"{self.pattern!r}; set pattern='rpc' to drive the "
+                f"closed-loop workload (or drop the rpc field)"
+            )
+        if self.rpc is not None and self.fault_plan is not None:
+            for fault in self.fault_plan.faults:
+                if fault.kind == "link-down" and fault.duration == 0:
+                    raise ValueError(
+                        "rpc workloads cannot run under a permanent "
+                        "LinkDown (duration=0 means the link never comes "
+                        "back, so closed-loop clients behind it stall "
+                        "forever and the run only ends at the hard stop); "
+                        "give the fault a finite duration"
+                    )
         if self.fidelity == "flow":
             if self.flow_control not in _FLOW_FIDELITY_FLOW_CONTROL:
                 raise ValueError(
@@ -261,6 +288,9 @@ class Scenario:
         self._install_flow_control()
         self.mix: Optional[IncastMix] = None
         self.flows: List[FlowSpec] = []
+        #: closed-loop driver (repro.rpc), built iff pattern="rpc"; the
+        #: runner starts it after the open-loop schedule is loaded
+        self.rpc_driver: Optional[ClosedLoopDriver] = None
         self._build_traffic()
         #: the fluid engine (repro.flowsim) attaches itself here when
         #: the runner dispatches a fidelity="flow" run; the sanitizer's
@@ -550,6 +580,23 @@ class Scenario:
                 rng,
             )
             self.flows = gen.generate(cfg.duration)
+        elif cfg.pattern == "rpc":
+            spec = cfg.rpc
+            first_flow_id = 0
+            if spec.background_load > 0.0:
+                gen = PoissonGenerator(
+                    dist,
+                    hosts,
+                    cfg.host_bandwidth,
+                    spec.background_load,
+                    rng,
+                )
+                self.flows = gen.generate(cfg.duration)
+                first_flow_id = gen.next_flow_id
+            self.rpc_driver = ClosedLoopDriver(
+                self, spec, first_flow_id=first_flow_id
+            )
+            self.rpc_driver.attach()
         elif cfg.pattern == "incast":
             from repro.workloads.incast import periodic_incast
 

@@ -110,6 +110,10 @@ class FluidSimulation:
         self._last_advance = 0
         self._arrivals: List[FluidFlow] = []
         self._arrival_cursor = 0
+        #: closed-loop injections (repro.rpc) land here, not in the
+        #: pre-sorted arrival schedule: they are created *at* their
+        #: start instant, so _admit can drain this list unconditionally
+        self._injected: List[FluidFlow] = []
         self._completion_ev: Optional[Event] = None
         #: rate recomputations performed (reported via extras/telemetry)
         self.reallocations = 0
@@ -222,6 +226,29 @@ class FluidSimulation:
         )
         self.sim.schedule_many((t, self._process, ()) for t in times)
 
+    def inject_flows(self, flows: List[Flow]) -> None:
+        """Admit flows created *now* by a closed-loop driver.
+
+        The pre-generated arrival list is sorted and consumed by a
+        cursor, so reactively created flows cannot be appended to it
+        (they would land behind later-scheduled arrivals and the
+        cursor would never reach them).  They go through a side queue
+        instead and are admitted in the same fluid step.  Callers must
+        invoke this from a simulator event, never from inside a fluid
+        callback (``on_flow_done``) — schedule a follow-up event.
+        """
+        for flow in flows:
+            path, hops = self._path_of(flow)
+            self._injected.append(
+                FluidFlow(
+                    flow,
+                    path,
+                    self._flow_ceiling,
+                    self._tail_latency(flow.size, hops),
+                )
+            )
+        self._process()
+
     # -- the fluid step ----------------------------------------------------
 
     def _advance(self, now: int) -> None:
@@ -274,6 +301,10 @@ class FluidSimulation:
 
     def _admit(self, now: int) -> bool:
         arrived = False
+        if self._injected:
+            self._active.extend(self._injected)
+            self._injected.clear()
+            arrived = True
         arrivals = self._arrivals
         cursor = self._arrival_cursor
         while cursor < len(arrivals) and arrivals[cursor].flow.start_time <= now:

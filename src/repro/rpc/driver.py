@@ -1,0 +1,241 @@
+"""Reactive flow injection: the closed loop itself.
+
+The driver wraps every host's ``on_flow_done`` callback — the same
+hook both fidelity tiers fire when a flow's last byte reaches its
+destination — and turns flow completions into application progress:
+
+* a **request** flow completing at a server schedules that shard's
+  response after the configured service time;
+* a **response** flow completing back at the client decrements the
+  request's fan-in count; when the last response lands, the request
+  latency is recorded and the client schedules its next request after
+  a think-time draw.
+
+Every random draw comes from per-client ``RngRegistry`` child streams
+(``rpc:client:<host>``) plus one matrix stream (``rpc:matrix``), so
+the workload is deterministic per seed and independent of how client
+events interleave with the rest of the run.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.rpc.matrix import DestinationMatrix
+from repro.rpc.spec import RpcWorkloadSpec
+from repro.stats.rpc import RpcRecord
+from repro.workloads.distributions import WORKLOADS
+
+#: pending-flow roles (identity-compared in the dispatch hot path)
+_REQUEST = "request"
+_RESPONSE = "response"
+
+
+class _Client:
+    """One closed-loop client's mutable state."""
+
+    __slots__ = ("host_id", "rng", "requests_done")
+
+    def __init__(self, host_id: int, rng: random.Random) -> None:
+        self.host_id = host_id
+        self.rng = rng
+        self.requests_done = 0
+
+
+class _Request:
+    """One in-flight request: fan-in bookkeeping."""
+
+    __slots__ = ("request_id", "client", "start", "remaining", "finish")
+
+    def __init__(
+        self, request_id: int, client: int, start: int, fan_out: int
+    ) -> None:
+        self.request_id = request_id
+        self.client = client
+        self.start = start
+        self.remaining = fan_out
+        self.finish = start
+
+
+class ClosedLoopDriver:
+    """Injects request/response flows reactively on either fidelity tier."""
+
+    def __init__(
+        self,
+        scenario,
+        spec: RpcWorkloadSpec,
+        first_flow_id: int = 0,
+    ) -> None:
+        self.scenario = scenario
+        self.sim = scenario.sim
+        self.topology = scenario.topology
+        self.stats = scenario.stats
+        self.spec = spec
+        self.gen_end = scenario.config.duration
+        self._response_dist = (
+            WORKLOADS[spec.response_workload] if spec.response_workload else None
+        )
+        host_ids = [h.node_id for h in self.topology.hosts]
+        n = spec.n_clients or len(host_ids)
+        if n > len(host_ids):
+            raise ValueError(
+                f"n_clients={n} exceeds the {len(host_ids)} hosts in the "
+                f"topology; shrink the client population or grow the fabric"
+            )
+        # spread clients evenly over the host id space -> across racks
+        picked = [host_ids[i * len(host_ids) // n] for i in range(n)]
+        self.clients: Dict[int, _Client] = {
+            host: _Client(host, scenario.rng.stream(f"rpc:client:{host}"))
+            for host in picked
+        }
+        self.matrix = DestinationMatrix(
+            spec, scenario.rack_of(), scenario.rng.stream("rpc:matrix")
+        )
+        self._next_flow_id = first_flow_id
+        self._next_request_id = 0
+        #: flow id -> (role, request, response_size) for flows we own
+        self._pending_flow: Dict[int, Tuple[str, _Request, int]] = {}
+        self._chain_flow_done = None
+        self._fluid = None
+        self._live_clients = len(picked)
+        self._open_requests = 0
+        self.requests_issued = 0
+        self.requests_completed = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def attach(self) -> None:
+        """Interpose on every host's completion callback (chains the
+        topology's completed-flow counter installed by ``finalize``)."""
+        hosts = self.topology.hosts
+        self._chain_flow_done = hosts[0].on_flow_done
+        for host in hosts:
+            host.on_flow_done = self._flow_done
+
+    def start(self, fluid=None) -> None:
+        """Arm each client's first think timer (call after scheduling)."""
+        self._fluid = fluid
+        for host in sorted(self.clients):
+            client = self.clients[host]
+            self.sim.schedule_call_at(
+                self.sim.now + self._think(client), self._issue, client
+            )
+
+    @property
+    def finished(self) -> bool:
+        """No client will issue again and no request is in flight."""
+        return self._live_clients == 0 and self._open_requests == 0
+
+    # -- the loop ----------------------------------------------------------
+
+    def _think(self, client: _Client) -> int:
+        """One think-time draw, ns (relative delay)."""
+        mean = self.spec.think_time
+        if mean <= 0:
+            return 0
+        if self.spec.think_distribution == "constant":
+            return mean
+        return int(client.rng.expovariate(1.0 / mean))
+
+    def _issue(self, client: _Client) -> None:
+        spec = self.spec
+        now = self.sim.now
+        cap = spec.requests_per_client
+        if now >= self.gen_end or (cap and client.requests_done >= cap):
+            self._live_clients -= 1
+            return
+        client.requests_done += 1
+        self.requests_issued += 1
+        request = _Request(self._next_request_id, client.host_id, now, spec.fan_out)
+        self._next_request_id += 1
+        self._open_requests += 1
+        rng = client.rng
+        servers = self.matrix.sample_servers(rng, client.host_id, spec.fan_out)
+        flows = []
+        for server in servers:
+            resp_size = self._response_size(rng)
+            flow = self.topology.make_flow(
+                self._take_flow_id(), client.host_id, server, spec.request_size, now
+            )
+            self._pending_flow[flow.flow_id] = (_REQUEST, request, resp_size)
+            flows.append(flow)
+        self._start_flows(flows)
+
+    def _response_size(self, rng: random.Random) -> int:
+        if self._response_dist is not None:
+            return self._response_dist.sample(rng)
+        return rng.randint(
+            self.spec.response_size_min, self.spec.response_size_max
+        )
+
+    def _take_flow_id(self) -> int:
+        fid = self._next_flow_id
+        self._next_flow_id += 1
+        return fid
+
+    def _start_flows(self, flows: List) -> None:
+        if self._fluid is not None:
+            self._fluid.inject_flows(flows)
+        else:
+            hosts = self.topology.hosts
+            for flow in flows:
+                hosts[flow.src].start_flow(flow)
+
+    # -- completion dispatch ----------------------------------------------
+
+    def _flow_done(self, flow) -> None:
+        chain = self._chain_flow_done
+        if chain is not None:
+            chain(flow)
+        entry = self._pending_flow.pop(flow.flow_id, None)
+        if entry is None:
+            return  # background traffic, not ours
+        role, request, resp_size = entry
+        # in the fluid tier this callback fires at the rate-completion
+        # instant while finish_time includes the unloaded tail latency;
+        # application progress keys off the delivery time in both tiers
+        done_at = flow.finish_time
+        if role is _REQUEST:
+            # shard query arrived at the server: schedule the response
+            # (a fresh event even at zero service time — the fluid tier
+            # must not admit flows from inside its own callback)
+            self.sim.schedule_call_at(
+                done_at + self.spec.server_time,
+                self._respond,
+                request,
+                flow.dst,
+                resp_size,
+            )
+            return
+        if done_at > request.finish:
+            request.finish = done_at
+        request.remaining -= 1
+        if request.remaining:
+            return
+        self.requests_completed += 1
+        self._open_requests -= 1
+        self.stats.record_rpc(
+            RpcRecord(
+                request.request_id,
+                request.client,
+                self.spec.fan_out,
+                request.start,
+                request.finish,
+            )
+        )
+        client = self.clients[request.client]
+        # the think clock starts when the data is in hand (finish >= now)
+        self.sim.schedule_call_at(
+            request.finish + self._think(client), self._issue, client
+        )
+
+    def _respond(self, request: _Request, server: int, resp_size: int) -> None:
+        flow = self.topology.make_flow(
+            self._take_flow_id(), server, request.client, resp_size, self.sim.now
+        )
+        # the fan-in responses are the incast: classify them so FCT
+        # breakdowns and rx-byte accounting see them as the paper does
+        self.stats.register_incast_flow(flow.flow_id)
+        self._pending_flow[flow.flow_id] = (_RESPONSE, request, 0)
+        self._start_flows([flow])

@@ -2,6 +2,7 @@
 
 from repro.stats.collector import NON_INCAST, FlowClass, FlowSelector, StatsHub
 from repro.stats.fct import FctRecord, FctSummary, summarize_fct
+from repro.stats.rpc import RpcRecord, RpcSummary, requests_per_sec, summarize_rpc
 from repro.stats.timeseries import ThroughputMonitor, BufferSampler
 
 __all__ = [
@@ -12,6 +13,10 @@ __all__ = [
     "FctRecord",
     "FctSummary",
     "summarize_fct",
+    "RpcRecord",
+    "RpcSummary",
+    "summarize_rpc",
+    "requests_per_sec",
     "ThroughputMonitor",
     "BufferSampler",
 ]

@@ -16,6 +16,7 @@ from enum import Enum
 from typing import Dict, List, Set, Tuple, Union
 
 from repro.stats.fct import FctRecord
+from repro.stats.rpc import RpcRecord
 
 
 class FlowClass(str, Enum):
@@ -70,6 +71,8 @@ class StatsHub:
         # --- flow completion -------------------------------------------------
         self.fct_records: List[FctRecord] = []
         self.flow_class: Dict[int, FlowClass] = {}
+        # --- request completion (repro.rpc closed-loop workloads) -----------
+        self.rpc_records: List[RpcRecord] = []
         # --- buffers ----------------------------------------------------------
         #: per-switch max total occupancy: name -> bytes
         self.switch_max_buffer: Dict[str, int] = {}
@@ -114,6 +117,7 @@ class StatsHub:
         #: TelemetryRecorder, absent cost is one check per event
         self.fct_histogram = None
         self.queuing_histogram = None
+        self.rpc_histogram = None
 
     # -- flow classes ---------------------------------------------------------------
 
@@ -136,6 +140,11 @@ class StatsHub:
         self.fct_records.append(record)
         if self.fct_histogram is not None:
             self.fct_histogram.observe(record.fct)
+
+    def record_rpc(self, record: RpcRecord) -> None:
+        self.rpc_records.append(record)
+        if self.rpc_histogram is not None:
+            self.rpc_histogram.observe(record.latency)
 
     def record_queuing(self, role: str, flow_id: int, delay: int) -> None:
         if self.queuing_histogram is not None:

@@ -94,6 +94,8 @@ class TelemetryRecorder:
             # streaming: StatsHub feeds these behind is-None checks
             stats.fct_histogram = reg.histogram("fct_ns", unit="ns")
             stats.queuing_histogram = reg.histogram("queuing_ns", unit="ns")
+            if sc.rpc_driver is not None:
+                stats.rpc_histogram = reg.histogram("rpc_latency_ns", unit="ns")
 
         if cfg.engine_profile:
             self.profiler = EngineProfiler()
@@ -138,6 +140,12 @@ class TelemetryRecorder:
         reg.counter("retransmissions").value = sum(
             f.retransmitted_packets for f in topo.flow_table.values()
         )
+        driver = sc.rpc_driver
+        if driver is not None:
+            reg.counter("rpc.requests_issued").value = driver.requests_issued
+            reg.counter("rpc.requests_completed").value = (
+                driver.requests_completed
+            )
         for ext in sc.extensions:
             harvest = getattr(ext, "telemetry_counters", None)
             if harvest is None:

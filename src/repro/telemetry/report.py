@@ -33,6 +33,52 @@ def _chart_block(
     return lines
 
 
+def _bin_quantile(bins: Sequence[Sequence[int]], q: float) -> int:
+    """Upper edge of the bin holding the ``q``-quantile (0..1)."""
+    total = sum(count for _, count in bins)
+    target = q * total
+    seen = 0
+    for edge, count in bins:
+        seen += count
+        if seen >= target:
+            return edge
+    return bins[-1][0]
+
+
+def _slo_block(export: TelemetryExport, width: int) -> List[str]:
+    """Request-level SLOs, rendered only when rpc telemetry is present.
+
+    The export carries the raw power-of-two latency bins, so the
+    quantiles here are bin upper edges — coarse but deterministic and
+    computable offline from the JSONL file alone.
+    """
+    hist = next(
+        (h for h in export.histograms if h["name"] == "rpc_latency_ns"), None
+    )
+    if hist is None:
+        return []
+    lines = ["--- request-level SLOs " + "-" * max(0, width - 23)]
+    bins = hist["bins"]
+    if not bins:
+        lines.append("  (no completed requests)")
+        return lines
+    for label, q in (("p50", 0.50), ("p99", 0.99), ("p999", 0.999)):
+        edge = _bin_quantile(bins, q)
+        lines.append(f"  {label:<5s} <= {edge / 1000.0:>12,.1f} us")
+    lines.append(
+        f"  n={hist['total']:,}  mean={hist['sum'] / hist['total'] / 1000.0:,.1f} us"
+    )
+    completed = next(
+        (v for n, _, v in export.counters if n == "rpc.requests_completed"),
+        None,
+    )
+    sim_ns = export.meta.get("sim_time_ns", 0)
+    if completed is not None and sim_ns:
+        rate = completed / (sim_ns / 1e9)
+        lines.append(f"  achieved {rate:,.0f} requests/s (simulated time)")
+    return lines
+
+
 def _hist_block(hist: Dict, width: int) -> List[str]:
     name, bins = hist["name"], hist["bins"]
     lines = [f"--- histogram {name} ({hist['unit']}) " + "-" * 8]
@@ -112,6 +158,8 @@ def render_export(
     }
     if cum:
         out += _chart_block("cumulative events", cum, "count", width)
+
+    out += _slo_block(export, width)
 
     for hist in export.histograms:
         out += _hist_block(hist, width)

@@ -1,0 +1,317 @@
+"""Closed-loop rpc workloads: spec, matrix, driver, registry, CLI."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import registry
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenario import ScenarioConfig
+from repro.faults.plan import FaultPlan, LinkDown
+from repro.rpc import DestinationMatrix, RpcWorkloadSpec
+from repro.stats.rpc import RpcRecord, summarize_rpc
+from repro.units import us
+
+
+def rpc_cfg(**kw) -> ScenarioConfig:
+    spec_kw = dict(n_clients=4, fan_out=4, think_time=us(10))
+    spec_kw.update(kw.pop("spec", {}))
+    params = dict(
+        pattern="rpc",
+        rpc=RpcWorkloadSpec(**spec_kw),
+        flow_control="floodgate",
+        n_tors=4,
+        hosts_per_tor=2,
+        duration=us(300),
+        seed=3,
+    )
+    params.update(kw)
+    return ScenarioConfig(**params)
+
+
+# -- the spec -----------------------------------------------------------------
+
+
+class TestSpec:
+    def test_roundtrips_and_fingerprints(self):
+        spec = RpcWorkloadSpec(fan_out=12, locality=0.3)
+        again = RpcWorkloadSpec.from_dict(spec.to_dict())
+        assert again == spec
+        assert again.fingerprint() == spec.fingerprint()
+        assert spec.fingerprint() != RpcWorkloadSpec().fingerprint()
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown RpcWorkloadSpec"):
+            RpcWorkloadSpec.from_dict({"fan_oot": 8})
+
+    @pytest.mark.parametrize(
+        "kw, match",
+        [
+            (dict(fan_out=0), "fan_out must be >= 1"),
+            (dict(n_clients=-1), "n_clients must be >= 0"),
+            (dict(think_time=-5), "think_time must be >= 0"),
+            (dict(server_time=-1), "server_time must be >= 0"),
+            (dict(think_distribution="pareto"), "unknown think_distribution"),
+            (dict(server_selection="hot"), "unknown server_selection"),
+            (dict(request_size=0), "request_size must be >= 1"),
+            (
+                dict(response_size_min=500, response_size_max=100),
+                "response sizes",
+            ),
+            (dict(response_workload="nosuch"), "unknown response_workload"),
+            (dict(zipf_alpha=0.0), "zipf_alpha must be > 0"),
+            (dict(locality=1.5), "locality must be a probability"),
+            (dict(requests_per_client=-2), "requests_per_client"),
+            (dict(background_load=-0.1), "background_load"),
+        ],
+    )
+    def test_validation(self, kw, match):
+        with pytest.raises(ValueError, match=match):
+            RpcWorkloadSpec(**kw)
+
+
+# -- config validation --------------------------------------------------------
+
+
+class TestScenarioConfigValidation:
+    def test_rpc_pattern_needs_a_spec(self):
+        with pytest.raises(ValueError, match="needs a workload description"):
+            ScenarioConfig(pattern="rpc")
+
+    def test_spec_needs_the_rpc_pattern(self):
+        with pytest.raises(ValueError, match="pattern='rpc'"):
+            ScenarioConfig(pattern="poisson", rpc=RpcWorkloadSpec())
+
+    def test_permanent_link_down_is_rejected(self):
+        plan = FaultPlan((LinkDown(at=us(10), duration=0),))
+        with pytest.raises(ValueError, match="permanent LinkDown"):
+            rpc_cfg(fault_plan=plan)
+
+    def test_transient_link_down_is_allowed(self):
+        plan = FaultPlan((LinkDown(at=us(10), duration=us(20)),))
+        assert rpc_cfg(fault_plan=plan).fault_plan is plan
+
+
+# -- the destination matrix ---------------------------------------------------
+
+
+class TestDestinationMatrix:
+    RACKS = {h: h // 4 for h in range(16)}  # 4 racks of 4
+
+    def test_zipf_skews_toward_the_top_rank(self):
+        spec = RpcWorkloadSpec(server_selection="zipf", zipf_alpha=1.2)
+        m = DestinationMatrix(spec, self.RACKS, random.Random(7))
+        weights = sorted(
+            (m.rack_weight(rack) for rack in range(4)), reverse=True
+        )
+        assert weights[0] > 2 * weights[-1]
+        assert sum(weights) == pytest.approx(1.0)
+
+    def test_uniform_selection_flattens_the_weights(self):
+        spec = RpcWorkloadSpec(server_selection="uniform")
+        m = DestinationMatrix(spec, self.RACKS, random.Random(7))
+        for rack in range(4):
+            assert m.rack_weight(rack) == pytest.approx(0.25)
+
+    def test_sampled_servers_are_distinct_and_never_the_client(self):
+        spec = RpcWorkloadSpec(fan_out=8)
+        m = DestinationMatrix(spec, self.RACKS, random.Random(7))
+        rng = random.Random(11)
+        for _ in range(50):
+            servers = m.sample_servers(rng, client=5, fan_out=8)
+            assert len(servers) == 8
+            assert len(set(servers)) == 8
+            assert 5 not in servers
+
+    def test_full_locality_stays_in_the_client_rack(self):
+        spec = RpcWorkloadSpec(locality=1.0, fan_out=3)
+        m = DestinationMatrix(spec, self.RACKS, random.Random(7))
+        rng = random.Random(11)
+        for _ in range(20):
+            for server in m.sample_servers(rng, client=5, fan_out=3):
+                assert self.RACKS[server] == 1
+
+    def test_fan_out_beyond_hosts_wraps(self):
+        racks = {0: 0, 1: 0, 2: 1}
+        m = DestinationMatrix(RpcWorkloadSpec(), racks, random.Random(7))
+        servers = m.sample_servers(random.Random(11), client=0, fan_out=5)
+        assert len(servers) == 5
+        assert set(servers) <= {1, 2}
+
+    def test_rejects_single_host_fabrics(self):
+        with pytest.raises(ValueError, match="at least two hosts"):
+            DestinationMatrix(RpcWorkloadSpec(), {0: 0}, random.Random(7))
+
+
+# -- the closed loop, end to end ----------------------------------------------
+
+
+class TestClosedLoop:
+    @pytest.mark.parametrize("fidelity", ["packet", "flow"])
+    def test_requests_complete_on_both_tiers(self, fidelity):
+        r = run_scenario(rpc_cfg(fidelity=fidelity))
+        assert r.completed_requests > 0
+        assert r.requests_per_sec > 0
+        s = r.rpc_summary
+        assert s.count == r.completed_requests
+        assert 0 < s.p50_ns <= s.p99_ns <= s.p999_ns <= s.max_ns
+        # every request is fan_out requests + fan_out responses
+        assert r.total_flows >= 2 * 4 * r.completed_requests
+
+    def test_requests_per_client_caps_the_run(self):
+        cfg = rpc_cfg(spec=dict(requests_per_client=2))
+        r = run_scenario(cfg)
+        assert r.completed_requests == 4 * 2
+        driver = r.scenario.rpc_driver
+        assert driver is not None and driver.finished
+        assert driver.requests_issued == driver.requests_completed == 8
+
+    def test_closed_loop_feedback(self):
+        """Slower fabric -> fewer requests: the defining property."""
+        fast = run_scenario(rpc_cfg(seed=9))
+        slow = run_scenario(
+            rpc_cfg(seed=9, spec=dict(server_time=us(40)))
+        )
+        assert slow.completed_requests < fast.completed_requests
+
+    def test_background_load_rides_alongside(self):
+        bare = run_scenario(rpc_cfg())
+        mixed = run_scenario(rpc_cfg(spec=dict(background_load=0.3)))
+        assert mixed.completed_requests > 0
+        # the flow table holds the driver's req/resp flows plus the
+        # open-loop Poisson background riding alongside
+        assert mixed.total_flows > bare.total_flows
+
+    def test_driver_rejects_oversized_client_populations(self):
+        with pytest.raises(ValueError, match="exceeds the 8 hosts"):
+            run_scenario(rpc_cfg(spec=dict(n_clients=32)))
+
+
+# -- request summaries --------------------------------------------------------
+
+
+class TestSummaries:
+    def test_summarize_rpc(self):
+        records = [
+            RpcRecord(i, 0, 4, 0, (i + 1) * 1000) for i in range(100)
+        ]
+        s = summarize_rpc(records)
+        assert s.count == 100
+        assert s.p50_ns == pytest.approx(50_000, rel=0.02)
+        assert s.max_ns == 100_000
+        assert s.p999_ns <= s.max_ns
+        assert s.p50_us == pytest.approx(s.p50_ns / 1000.0)
+
+    def test_empty_summary_is_zero(self):
+        s = summarize_rpc([])
+        assert s.count == 0 and s.p999_ns == 0
+
+
+# -- the registry -------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_builtins_present(self):
+        names = registry.names()
+        assert "quick" in names
+        assert "rpc-fanout" in names
+        assert "rpc-fanout-flow" in names
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(ValueError, match="available scenarios: quick"):
+            registry.get("nosuch")
+
+    def test_tag_filtering(self):
+        rpc_names = registry.names(tag="rpc")
+        assert rpc_names == ["rpc-fanout", "rpc-fanout-flow"]
+        assert all("bench" in registry.get(n).tags for n in rpc_names)
+
+    def test_duplicate_registration_rejected(self):
+        entry = registry.get("quick")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register(entry)
+
+    def test_bad_gate_metric_rejected(self):
+        with pytest.raises(ValueError, match="unknown gate_metric"):
+            registry.ScenarioEntry(
+                "x", "d", (ScenarioConfig(),), gate_metric="qps"
+            )
+
+    def test_rpc_entries_gate_on_requests(self):
+        from repro.experiments.bench import gate_metric_for
+
+        assert gate_metric_for("rpc-fanout") == "requests_per_sec"
+        assert gate_metric_for("rpc-anything-else") == "requests_per_sec"
+        assert gate_metric_for("flowsim-quick") == "flows_per_sec"
+        assert gate_metric_for("quick") == "events_per_sec"
+
+
+# -- the CLI ------------------------------------------------------------------
+
+
+class TestCli:
+    def test_scenarios_list(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in registry.names():
+            assert name in out
+
+    def test_scenarios_list_tag(self, capsys):
+        assert main(["scenarios", "list", "--tag", "rpc"]) == 0
+        out = capsys.readouterr().out
+        assert "rpc-fanout" in out
+        assert "fattree-a2a" not in out
+
+    def test_scenarios_show(self, capsys):
+        assert main(["scenarios", "show", "rpc-fanout"]) == 0
+        out = capsys.readouterr().out
+        assert "requests_per_sec" in out
+        assert '"fan_out": 8' in out
+
+    def test_scenarios_show_unknown(self, capsys):
+        assert main(["scenarios", "show", "nosuch"]) == 1
+        err = capsys.readouterr().err
+        assert "available scenarios" in err
+
+    def test_bench_unknown_scenario_lists_available(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["bench", "--scenario", "nosuch"])
+        err = capsys.readouterr().err
+        assert "rpc-fanout" in err
+
+    def test_report_unknown_scenario(self, capsys):
+        assert main(["report", "--scenario", "nosuch"]) == 1
+        err = capsys.readouterr().err
+        assert "available scenarios" in err
+
+
+# -- report rendering ---------------------------------------------------------
+
+
+class TestSloReport:
+    def test_render_includes_slo_section(self):
+        from repro.telemetry.registry import TelemetryConfig
+        from repro.telemetry.report import render_export
+
+        cfg = rpc_cfg(telemetry=TelemetryConfig())
+        r = run_scenario(cfg)
+        text = render_export(r.telemetry)
+        assert "request-level SLOs" in text
+        assert "p999" in text
+        assert "requests/s" in text
+
+    def test_no_slo_section_without_rpc(self):
+        from repro.telemetry.registry import TelemetryConfig
+        from repro.telemetry.report import render_export
+
+        cfg = ScenarioConfig(
+            n_tors=2,
+            hosts_per_tor=2,
+            duration=us(100),
+            telemetry=TelemetryConfig(),
+        )
+        r = run_scenario(cfg)
+        assert "request-level SLOs" not in render_export(r.telemetry)

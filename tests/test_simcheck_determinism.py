@@ -147,6 +147,84 @@ def test_fidelity_roundtrip_serial_pooled_cached_identical(fidelity, tmp_path):
         assert len(payloads) == 1, key
 
 
+def rpc_cfg(fidelity: str, seed: int = 5) -> ScenarioConfig:
+    from repro.rpc import RpcWorkloadSpec
+
+    return ScenarioConfig(
+        pattern="rpc",
+        rpc=RpcWorkloadSpec(
+            n_clients=4,
+            fan_out=4,
+            think_time=us(10),
+            background_load=0.2,
+        ),
+        flow_control="floodgate",
+        fidelity=fidelity,
+        n_tors=3,
+        hosts_per_tor=2,
+        duration=us(200),
+        seed=seed,
+    )
+
+
+def test_rpc_same_seed_runs_are_byte_identical():
+    """The closed loop replays exactly: every think-time draw, shard
+    pick, and response size comes from named RngRegistry streams."""
+    rep = check_repeatable(rpc_cfg("packet"))
+    assert rep["ok"], rep
+    assert rep["events"] > 100
+    assert rep["violations"] == []
+    assert len(set(rep["event_digests"])) == 1
+    assert len(set(rep["summary_digests"])) == 1
+
+
+@pytest.mark.parametrize("fidelity", ["packet", "flow"])
+def test_rpc_serial_pooled_cached_identical(fidelity, tmp_path):
+    """Closed-loop results survive the pool and the disk cache
+    byte-identically at both fidelities, rpc records included."""
+    from repro.experiments.parallel import SweepTask, run_sweep
+
+    configs = {
+        "a": rpc_cfg(fidelity, seed=5),
+        "b": rpc_cfg(fidelity, seed=6),
+    }
+    tasks = [SweepTask(key=k, config=c) for k, c in sorted(configs.items())]
+    serial = run_sweep(tasks, cache=False, serial=True)
+    pooled = run_sweep(tasks, cache=False, serial=False)
+    primed = run_sweep(tasks, cache=tmp_path, serial=True)
+    cached = run_sweep(tasks, cache=tmp_path, serial=True)
+    for key in configs:
+        assert cached[key].from_cache
+        assert serial[key].completed_requests > 0
+        assert serial[key].rpc_summary.p999_ns > 0
+        payloads = {
+            run[key].canonical_bytes()
+            for run in (serial, pooled, primed, cached)
+        }
+        assert len(payloads) == 1, key
+
+
+def test_rpc_spec_changes_the_cache_key(tmp_path):
+    """Two configs differing only inside the RpcWorkloadSpec must not
+    collide in the sweep cache."""
+    from dataclasses import replace as _replace
+
+    from repro.experiments.parallel import SweepTask, run_sweep
+
+    base = rpc_cfg("packet")
+    other = _replace(base, rpc=_replace(base.rpc, fan_out=2))
+    first = run_sweep(
+        [SweepTask(key="x", config=base)], cache=tmp_path, serial=True
+    )
+    second = run_sweep(
+        [SweepTask(key="x", config=other)], cache=tmp_path, serial=True
+    )
+    assert not second["x"].from_cache
+    assert (
+        first["x"].canonical_bytes() != second["x"].canonical_bytes()
+    )
+
+
 def test_run_suite_rejects_unknown_schemes():
     with pytest.raises(ValueError, match="unknown scheme"):
         run_suite(schemes=["dcqcn", "hpcc"])
