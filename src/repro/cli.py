@@ -15,6 +15,8 @@ Usage::
     floodgate-experiment report [--scheme floodgate] [--out run.jsonl]
     floodgate-experiment report --from run.jsonl
     floodgate-experiment check [paths ...] [--sanitize] [--rules]
+                               [--sharded] [--shards 2 4]
+                               [--scenarios quick incast256]
 """
 
 from __future__ import annotations
@@ -204,6 +206,33 @@ def _check(args) -> int:
             file=sys.stderr,
         )
         if not suite["ok"]:
+            status = 1
+
+    if args.sharded:
+        from repro.simcheck.determinism import run_sharded_suite
+
+        print(
+            "simcheck: running sharded equivalence suite ...", file=sys.stderr
+        )
+        start = time.monotonic()
+        sharded = run_sharded_suite(
+            seed=args.seed,
+            schemes=args.schemes,
+            shards=tuple(args.shards),
+            scenarios=tuple(args.scenarios),
+        )
+        for key, rep in sharded["cases"].items():
+            mark = "ok" if rep["ok"] else "FAIL"
+            modes = " ".join(
+                f"{m}={'ok' if r['ok'] else 'FAIL'}"
+                for m, r in rep["modes"].items()
+            )
+            print(f"  {key:28s} {mark}  {modes}")
+        print(
+            f"simcheck: sharded suite done in {time.monotonic() - start:.1f}s",
+            file=sys.stderr,
+        )
+        if not sharded["ok"]:
             status = 1
     return status
 
@@ -395,11 +424,34 @@ def main(argv: list[str] | None = None) -> int:
         help="also run every scheme sanitized twice and compare digests",
     )
     check_p.add_argument(
+        "--sharded",
+        action="store_true",
+        help="also prove sharded execution (lockstep/barrier/process) "
+        "replays serial runs byte-for-byte, per scheme and shard count",
+    )
+    check_p.add_argument(
         "--schemes",
         nargs="+",
         default=None,
-        choices=["dcqcn", "floodgate", "bfc", "ndp"],
-        help="schemes for the --sanitize suite (default: all four)",
+        choices=["dcqcn", "floodgate", "bfc", "ndp", "pfc_tag"],
+        help="schemes for the --sanitize/--sharded suites (defaults: "
+        "all four of each; pfc_tag is sharded-only, ndp sanitize-only)",
+    )
+    check_p.add_argument(
+        "--shards",
+        nargs="+",
+        type=int,
+        default=[2, 4],
+        metavar="N",
+        help="shard counts for the --sharded suite (default: 2 4)",
+    )
+    check_p.add_argument(
+        "--scenarios",
+        nargs="+",
+        default=["quick", "incast256"],
+        metavar="NAME",
+        help="registry scenarios for the --sharded suite "
+        "(default: quick incast256)",
     )
     check_p.add_argument("--seed", type=int, default=1)
     check_p.add_argument(

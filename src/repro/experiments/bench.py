@@ -43,7 +43,7 @@ import os
 import platform
 import statistics
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
@@ -72,6 +72,17 @@ FLOWSIM_PREFIX = "flowsim-"
 #: closed-loop rpc scenarios: recorded in their own trajectory and
 #: gated on requests/second (the number the subsystem exists to serve)
 RPC_PREFIX = "rpc-"
+
+#: sharded-engine scenarios (``config.shards > 1``): recorded in the
+#: engine trajectory with the usual events/second regression gate,
+#: plus a serial-twin timing that yields ``speedup_vs_serial``
+SHARD_PREFIX = "shard-"
+
+#: scenario -> minimum speedup_vs_serial the gate enforces.  The gate
+#: only applies when the record's machine had at least as many CPUs as
+#: shards — conservative-parallel workers time-slicing one core can
+#: only lose; the record still carries the measured ratio either way
+SHARD_SPEEDUP_GATES = {"shard-fattree-a2a": 1.8}
 
 #: flowsim gate fallback when no same-machine history exists: the
 #: fluid tier completes tens of thousands of flows per second; below
@@ -171,7 +182,9 @@ def run_bench_scenario(spec: BenchScenario, repeats: int = 3) -> Dict:
     """
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
+    sharded = any(cfg.shards > 1 for cfg in spec.configs)
     walls: List[float] = []
+    serial_walls: List[float] = []
     events = completed = total = sim_time = requests = -1
     for _ in range(repeats):
         wall = 0.0
@@ -196,9 +209,18 @@ def run_bench_scenario(spec: BenchScenario, repeats: int = 3) -> Dict:
             )
         events, completed, total, sim_time, requests = ev, done, flows, stime, reqs
         walls.append(wall)
+        if sharded:
+            # the serial twin, timed under the same repeat so machine
+            # noise hits both sides; speedup is median over median
+            serial_walls.append(
+                sum(
+                    run_scenario(replace(cfg, shards=1)).wall_seconds
+                    for cfg in spec.configs
+                )
+            )
     median = statistics.median(walls)
     stdev = statistics.stdev(walls) if len(walls) > 1 else 0.0
-    return {
+    record = {
         "scenario": spec.name,
         "description": spec.description,
         "events": events,
@@ -213,6 +235,15 @@ def run_bench_scenario(spec: BenchScenario, repeats: int = 3) -> Dict:
         "completed_requests": requests,
         "repeats": repeats,
     }
+    if sharded:
+        serial_median = statistics.median(serial_walls)
+        record["shards"] = max(cfg.shards for cfg in spec.configs)
+        record["cpus"] = os.cpu_count() or 1
+        record["serial_wall_seconds"] = round(serial_median, 4)
+        record["speedup_vs_serial"] = (
+            round(serial_median / median, 3) if median else 0.0
+        )
+    return record
 
 
 def run_matrix(
@@ -351,6 +382,28 @@ def check_gate(
             messages.append(
                 f"gate ok {name}: {rate:,} {unit} >= {bar:,} ({basis})"
             )
+        min_speedup = SHARD_SPEEDUP_GATES.get(name)
+        if min_speedup is not None and "speedup_vs_serial" in rec:
+            speedup = rec["speedup_vs_serial"]
+            shards = rec.get("shards", 0)
+            cpus = rec.get("cpus", 0)
+            if cpus < shards:
+                # workers time-slicing fewer cores than domains cannot
+                # show parallel speedup; record it, don't gate on it
+                messages.append(
+                    f"gate skip {name}: speedup {speedup}x not gated "
+                    f"({cpus} CPU(s) < {shards} shards)"
+                )
+            elif speedup < min_speedup:
+                ok = False
+                messages.append(
+                    f"GATE FAIL {name}: speedup {speedup}x < "
+                    f"{min_speedup}x vs serial on {cpus} CPUs"
+                )
+            else:
+                messages.append(
+                    f"gate ok {name}: speedup {speedup}x >= {min_speedup}x"
+                )
     return ok, messages
 
 

@@ -233,6 +233,24 @@ def _builtin_entries() -> List[ScenarioEntry]:
             gate_metric="flows_per_sec",
         ),
         ScenarioEntry(
+            "shard-incast256",
+            "sharded engine (2 domains): the incast-degree sweep under "
+            "conservative-parallel execution",
+            tuple(replace(cfg, shards=2) for cfg in incast_sweep),
+            tags=("bench", "packet", "shard"),
+            notes="speedup_vs_serial is recorded but not gated: incast "
+            "traffic is boundary-heavy, so scaling is topology-bound",
+        ),
+        ScenarioEntry(
+            "shard-fattree-a2a",
+            "sharded engine (4 per-pod domains): the fat-tree Poisson "
+            "all-to-all under conservative-parallel execution",
+            (replace(fattree, shards=4),),
+            tags=("bench", "packet", "shard"),
+            notes="gates >=1.8x speedup_vs_serial when the machine has "
+            "at least as many CPUs as shards (see bench.check_gate)",
+        ),
+        ScenarioEntry(
             "rpc-fanout",
             "closed-loop rpc: 8 clients x 8-way fan-out, Zipf shards, "
             "Floodgate (16 hosts)",

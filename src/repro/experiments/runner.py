@@ -37,6 +37,18 @@ class ScenarioResult:
     #: invariant violations the sanitizer collected; empty both for
     #: clean sanitized runs and for unsanitized runs
     sanitizer_violations: List[str] = field(default_factory=list)
+    #: sharded-run aggregates (repro.sim.sharded).  A multiprocess
+    #: sharded run leaves the in-memory scenario unexecuted, so VOQ and
+    #: retransmission totals come back from the workers instead of the
+    #: local extension/flow-table scan; None everywhere else.
+    shard_max_voqs: Optional[int] = None
+    shard_retransmitted: Optional[int] = None
+    #: per-domain event-stream digests (hex), populated only when the
+    #: determinism harness requests them from a sharded run
+    shard_digests: Optional[List[str]] = None
+    #: lockstep-mode global digest (hex), byte-comparable to a serial
+    #: run's depth-free EventStreamDigest
+    shard_global_digest: Optional[str] = None
 
     # -- FCT ---------------------------------------------------------------------
 
@@ -93,6 +105,8 @@ class ScenarioResult:
 
     @property
     def max_voqs_used(self) -> int:
+        if self.shard_max_voqs is not None:
+            return self.shard_max_voqs
         return max(
             (
                 ext.pool.max_in_use
@@ -123,6 +137,8 @@ class ScenarioResult:
     @property
     def retransmitted_packets(self) -> int:
         """Go-back-N/NDP retransmissions summed over every flow."""
+        if self.shard_retransmitted is not None:
+            return self.shard_retransmitted
         return sum(
             f.retransmitted_packets
             for f in self.scenario.topology.flow_table.values()
@@ -137,6 +153,13 @@ def run_scenario(
     """Build (unless given), schedule, and run a scenario to completion."""
     wall_start = time.monotonic()  # simcheck: ignore[SIM002] -- wall time for reporting only
     sc = scenario if scenario is not None else Scenario(config)
+    if sc.config.shards > 1:
+        # conservative-parallel path: partition the topology into
+        # domains and run them concurrently (repro.sim.sharded).  The
+        # serial loop below stays byte-for-byte untouched at shards=1.
+        from repro.sim.sharded import run_sharded_scenario
+
+        return run_sharded_scenario(sc, check_interval, wall_start)
     fluid = None
     if sc.config.fidelity == "flow":
         # fluid tier: same Scenario build (topology, routes, traffic,
@@ -187,6 +210,9 @@ def run_scenario(
     if sc.sanitizer is not None:
         sc.sanitizer.final_check()
         violations = list(sc.sanitizer.violations)
+    # canonical record order: makes serial and sharded runs (which
+    # merge per-domain stats) produce identical summary bytes
+    sc.stats.canonicalize()
     return ScenarioResult(
         config=cfg,
         stats=sc.stats,

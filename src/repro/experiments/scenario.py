@@ -154,6 +154,18 @@ class ScenarioConfig:
     sanitize: Optional[SanitizerConfig] = None
 
     # --- run control ------------------------------------------------------------
+    #: simulation domains (repro.sim.sharded): 1 runs the classic
+    #: serial loop; >1 partitions the topology into per-pod (leaf-spine:
+    #: per-ToR-group) domains synchronized by conservative lookahead.
+    #: Sharded runs reproduce the serial event order exactly — the
+    #: determinism harness asserts byte-identical digests/summaries.
+    shards: int = 1
+    #: sharded executor: "process" (one worker process per domain, the
+    #: speedup path), "barrier" (in-process conservative windows),
+    #: "lockstep" (in-process global-order merge, the equivalence
+    #: reference), or "auto" (process, falling back to barrier for rpc
+    #: workloads whose closed loop must share one address space)
+    shard_mode: str = "auto"
     #: hard stop as a multiple of `duration` (lets stragglers finish)
     max_runtime_factor: float = 8.0
     track_bandwidth: bool = False
@@ -205,6 +217,39 @@ class ScenarioConfig:
                         "forever and the run only ends at the hard stop); "
                         "give the fault a finite duration"
                     )
+        if not isinstance(self.shards, int) or self.shards < 1:
+            raise ValueError(
+                f"shards must be a positive integer, got {self.shards!r}"
+            )
+        if self.shard_mode not in ("auto", "lockstep", "barrier", "process"):
+            raise ValueError(
+                f"unknown shard_mode {self.shard_mode!r}; valid values: "
+                f"auto, lockstep, barrier, process"
+            )
+        if self.shards > 1:
+            # sharded execution covers the packet engine's steady-state
+            # machinery; the orthogonal observation/fault layers keep
+            # global state that has no cross-domain merge story yet
+            if self.fidelity != "packet":
+                raise ValueError(
+                    "shards > 1 requires fidelity='packet' (the fluid "
+                    "model is a single global rate computation)"
+                )
+            if self.fault_plan is not None:
+                raise ValueError(
+                    "shards > 1 cannot run a fault plan; fault injection "
+                    "needs the serial engine"
+                )
+            if self.telemetry is not None:
+                raise ValueError(
+                    "shards > 1 cannot record telemetry; the collector "
+                    "samples one global simulator clock"
+                )
+            if self.sanitize:
+                raise ValueError(
+                    "shards > 1 cannot run the sanitizer; invariant "
+                    "sweeps walk the whole topology on one clock"
+                )
         if self.fidelity == "flow":
             if self.flow_control not in _FLOW_FIDELITY_FLOW_CONTROL:
                 raise ValueError(

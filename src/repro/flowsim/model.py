@@ -42,6 +42,11 @@ from repro.units import CTRL_PKT_SIZE, MTU, SEC, serialization_delay
 #: resource on the path); far beyond any runner hard stop
 _NEVER = 1 << 62
 
+#: utilization clamp for the queueing-delay correction: ``rho/(1-rho)``
+#: diverges as a link saturates, but real queues are bounded by buffers
+#: and flow control — cap the modeled backlog at 19 MTUs per hop
+_RHO_CAP = 0.95
+
 
 class FluidFlow:
     """Runtime state of one flow in the fluid model."""
@@ -54,6 +59,8 @@ class FluidFlow:
         "remaining_bits",
         "rate",
         "proj_finish",
+        "admit_time",
+        "admit_bits",
     )
 
     def __init__(
@@ -70,6 +77,11 @@ class FluidFlow:
         self.remaining_bits = float(flow.size * 8)
         self.rate = 0.0
         self.proj_finish = _NEVER
+        #: set at admission: the instant, and a snapshot of each link
+        #: resource's cumulative bits — the queueing-delay correction
+        #: reads lifetime utilization from the deltas at completion
+        self.admit_time = 0
+        self.admit_bits: Tuple[Tuple[int, float], ...] = ()
 
 
 class FluidSimulation:
@@ -103,6 +115,13 @@ class FluidSimulation:
         swnd_bytes = max(int(cfg.swnd_bdp * scenario.base_bdp), 2_000)
         base_rtt = max(scenario.base_rtt, 1)
         self._flow_ceiling = swnd_bytes * 8.0 * SEC / base_rtt
+        #: cumulative bits carried per *directed link* resource (VOQ
+        #: resources are excluded: they model windows, not queues).
+        #: Deltas over a flow's lifetime give the mean utilization its
+        #: packets competed against — the input to the queueing-delay
+        #: correction applied to its FCT at completion.
+        self._n_link_resources = 2 * len(self.topology.links)
+        self._resource_bits: List[float] = [0.0] * self._n_link_resources
         #: (src, dst) -> (resource path, [(bandwidth, delay) hops]);
         #: per-flow ECMP paths depend on the flow id and bypass it
         self._path_cache: Dict[Tuple[int, int], Tuple[Tuple[int, ...], Tuple]] = {}
@@ -255,10 +274,49 @@ class FluidSimulation:
         dt = now - self._last_advance
         if dt > 0:
             factor = dt / SEC
+            bits = self._resource_bits
+            n_link = self._n_link_resources
             for ff in self._active:
                 if ff.rate > 0.0:
-                    ff.remaining_bits -= ff.rate * factor
+                    moved = ff.rate * factor
+                    ff.remaining_bits -= moved
+                    for r in ff.path:
+                        if r < n_link:
+                            bits[r] += moved
         self._last_advance = now
+
+    def _queueing_wait(self, ff: FluidFlow, now: int) -> int:
+        """Estimated queueing delay the flow's packets saw, in ns.
+
+        The base fluid model shares *bandwidth* but keeps no queues, so
+        it systematically undershoots tail FCTs on loaded fabrics
+        (Poisson-heavy runs showed ~20% p99 underestimates vs the
+        packet engine).  Correction: for each directed link on the
+        path, the cross traffic carried during the flow's lifetime
+        (cumulative resource bits minus the flow's own) gives the mean
+        utilization ``rho`` its packets competed against; an M/M/1-
+        shaped wait of ``rho / (1 - rho)`` MTU service times per hop is
+        added to the FCT.  A lone flow sees ``rho == 0`` everywhere, so
+        unloaded FCTs keep their exact closed-form values.
+        """
+        lifetime = now - ff.admit_time
+        if lifetime <= 0 or not ff.admit_bits:
+            return 0
+        own = ff.flow.size * 8.0
+        bits = self._resource_bits
+        caps = self.capacities
+        per_sec = SEC / lifetime
+        wait = 0.0
+        for r, b0 in ff.admit_bits:
+            cross = bits[r] - b0 - own
+            if cross <= 0.0:
+                continue
+            cap = caps[r]
+            rho = cross * per_sec / cap
+            if rho > _RHO_CAP:
+                rho = _RHO_CAP
+            wait += rho / (1.0 - rho) * serialization_delay(MTU, cap)
+        return int(wait)
 
     def _complete_due(self, now: int) -> bool:
         """Retire flows whose projected finish has arrived."""
@@ -275,7 +333,7 @@ class FluidSimulation:
         for ff in done:
             flow = ff.flow
             ff.remaining_bits = 0.0
-            finish = now + ff.tail_latency
+            finish = now + ff.tail_latency + self._queueing_wait(ff, now)
             flow.finish_time = finish
             flow.delivered_bytes = flow.size
             flow.sender_done = True
@@ -299,16 +357,28 @@ class FluidSimulation:
                 dst_host.on_flow_done(flow)
         return True
 
+    def _on_admit(self, ff: FluidFlow, now: int) -> None:
+        ff.admit_time = now
+        bits = self._resource_bits
+        n_link = self._n_link_resources
+        ff.admit_bits = tuple(
+            (r, bits[r]) for r in ff.path if r < n_link
+        )
+
     def _admit(self, now: int) -> bool:
         arrived = False
         if self._injected:
+            for ff in self._injected:
+                self._on_admit(ff, now)
             self._active.extend(self._injected)
             self._injected.clear()
             arrived = True
         arrivals = self._arrivals
         cursor = self._arrival_cursor
         while cursor < len(arrivals) and arrivals[cursor].flow.start_time <= now:
-            self._active.append(arrivals[cursor])
+            ff = arrivals[cursor]
+            self._on_admit(ff, now)
+            self._active.append(ff)
             cursor += 1
             arrived = True
         self._arrival_cursor = cursor

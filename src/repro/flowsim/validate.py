@@ -21,9 +21,13 @@ ways, both documented in DESIGN.md "Fidelity tiers":
   regime needs the packet engine.)
 
 Thresholds: p50/p99 divergence within ``tolerance`` is asserted for
-quick and incast256; fattree-a2a is report-only (Poisson queueing
-delay is outside the fluid model).  The incast256 aggregate wall-clock
-speedup is asserted against ``min_speedup``.
+quick and incast256.  fattree-a2a is asserted against its own wider
+budget (``SCENARIO_TOLERANCE``): the fluid model's utilization-based
+queueing-delay correction closes the mean-FCT gap, but the p99 residual
+on a Poisson-loaded 3-tier fabric is congestion-control convergence
+(DCQCN rate ramping), which a fluid rate model cannot represent — the
+assertion pins that residual so it cannot silently grow.  The incast256
+aggregate wall-clock speedup is asserted against ``min_speedup``.
 """
 
 from __future__ import annotations
@@ -43,7 +47,13 @@ DEFAULT_TOLERANCE = 0.15
 DEFAULT_MIN_SPEEDUP = 20.0
 
 #: scenarios whose FCT divergence is asserted (not just reported)
-ASSERTED_SCENARIOS = ("quick", "incast256")
+ASSERTED_SCENARIOS = ("quick", "incast256", "fattree-a2a")
+
+#: per-scenario tolerance overrides (fraction, replaces ``tolerance``).
+#: fattree-a2a budgets the DCQCN-convergence p99 residual the fluid
+#: model cannot represent; measured 22.5% at seed 1 after the queueing
+#: correction, pinned with headroom so growth past it fails the gate
+SCENARIO_TOLERANCE: Dict[str, float] = {"fattree-a2a": 0.25}
 
 #: the scenario whose aggregate speedup is asserted
 SPEEDUP_SCENARIO = "incast256"
@@ -178,6 +188,7 @@ def cross_validate(
             packet_total += cmp.packet_wall
             flow_total += cmp.flow_wall
             asserted = name in ASSERTED_SCENARIOS
+            scenario_tol = SCENARIO_TOLERANCE.get(name, tolerance)
             if cmp.matched_flows == 0:
                 messages.append(
                     f"{name}[{index}]: no matched flows "
@@ -193,12 +204,12 @@ def cross_validate(
                 f"({cmp.p99_divergence:.1%}), speedup {cmp.speedup:.1f}x"
             )
             if asserted and (
-                cmp.p50_divergence > tolerance
-                or cmp.p99_divergence > tolerance
+                cmp.p50_divergence > scenario_tol
+                or cmp.p99_divergence > scenario_tol
             ):
                 ok = False
                 messages.append(
-                    f"FAIL {line} — divergence above {tolerance:.0%}"
+                    f"FAIL {line} — divergence above {scenario_tol:.0%}"
                 )
             else:
                 messages.append(

@@ -48,6 +48,9 @@ class Link:
         "dropped_data_packets",
         "dropped_credit_packets",
         "fault",
+        "lid_ab",
+        "lid_ba",
+        "channel",
     )
 
     def __init__(
@@ -75,6 +78,16 @@ class Link:
         self.dropped_credit_packets: int = 0
         #: scheduled-fault state (see repro.faults); None on healthy links
         self.fault: Optional["LinkFaultState"] = None
+        #: per-direction link ids for the engine ordering key.  Assigned
+        #: deterministically by ``Topology.connect`` in link-creation
+        #: order (a->b odd, b->a even); 0 for raw links built outside a
+        #: topology, which keeps plain insertion-order tie-breaks.
+        self.lid_ab: int = 0
+        self.lid_ba: int = 0
+        #: boundary channel (repro.sim.sharded); when set, deliveries
+        #: cross a domain boundary through the channel instead of the
+        #: local heap.  None on every serial and intra-domain link.
+        self.channel = None
 
     def set_loss(self, rate: float, rng: random.Random) -> None:
         """Enable Bernoulli packet loss on this link (both directions)."""
@@ -111,11 +124,25 @@ class Link:
         if sender is self.node_a:
             peer = self.node_b
             peer_port = self.port_b
+            lid = self.lid_ab
         else:
             peer = self.node_a
             peer_port = self.port_a
+            lid = self.lid_ba
         if self.fault is not None:
             self.fault.transmit(pkt, peer, peer_port)
+            return
+        if self.channel is not None:
+            # boundary delivery: the full ordering key is computed on
+            # the sending side, so the receiving domain merges it into
+            # its heap in exactly the serial position
+            sim = sender.sim
+            sim._seq += 1
+            self.channel.send(
+                peer,
+                (sim.now + self.delay, lid, sim._seq, None, peer.receive,
+                 (pkt, peer_port)),
+            )
             return
         # handle-free fast path (schedule_call inlined): propagation
         # events are never cancelled, and this runs once per packet
@@ -123,5 +150,6 @@ class Link:
         sim._seq += 1
         heappush(
             sim._heap,
-            (sim.now + self.delay, sim._seq, None, peer.receive, (pkt, peer_port)),
+            (sim.now + self.delay, lid, sim._seq, None, peer.receive,
+             (pkt, peer_port)),
         )

@@ -55,6 +55,7 @@ class EgressPort:
         "_data_bytes",
         "_peer",
         "_peer_port",
+        "_lid",
         "paused",
         "paused_queues",
         "tx_bytes",
@@ -105,6 +106,9 @@ class EgressPort:
         #: that stub it still intercept traffic.
         self._peer: Optional["Node"] = None
         self._peer_port = -1
+        #: cached per-direction link id for the ordering key, resolved
+        #: together with ``_peer``
+        self._lid = 0
         self.paused = False
         self.paused_queues: set[int] = set()
         self.tx_bytes = 0        # everything, for INT and overhead stats
@@ -287,25 +291,30 @@ class EgressPort:
         sim = self.sim
         sim._seq += 1
         heappush(
-            sim._heap, (sim.now + delay, sim._seq, None, self._tx_done, (pkt,))
+            sim._heap,
+            (sim.now + delay, 0, sim._seq, None, self._tx_done, (pkt,)),
         )
 
     def _tx_done(self, pkt: "Packet") -> None:
         self._busy = False
         link = self.link
-        if link.loss_rate == 0.0 and link.fault is None:
+        if link.loss_rate == 0.0 and link.fault is None and link.channel is None:
             # healthy link: skip deliver()'s call frame and schedule the
             # peer's receive directly (identical event tuple)
             peer = self._peer
             if peer is None:
                 peer = self._peer = link.peer_of(self.node)
                 self._peer_port = link.peer_port_of(self.node)
+                self._lid = (
+                    link.lid_ab if self.node is link.node_a else link.lid_ba
+                )
             sim = self.sim
             sim._seq += 1
             heappush(
                 sim._heap,
                 (
                     sim.now + link.delay,
+                    self._lid,
                     sim._seq,
                     None,
                     peer.receive,

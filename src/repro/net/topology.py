@@ -87,6 +87,12 @@ class Topology:
     ) -> Link:
         """Create a link and both endpoints' egress ports."""
         link = Link(self.sim, a, b, bandwidth, delay)
+        # per-direction ordering-key ids, assigned in link-creation
+        # order: the topology build sequence is deterministic, so two
+        # builds of the same config agree on every lid — the property
+        # sharded-vs-serial equivalence rests on
+        link.lid_ab = 2 * len(self.links) + 1
+        link.lid_ba = 2 * len(self.links) + 2
         idx_a = a.attach_link(link, rr_data_queues=rr_queues)
         idx_b = b.attach_link(link, rr_data_queues=rr_queues)
         if isinstance(a, Switch):

@@ -35,10 +35,13 @@ _RESPONSE = "response"
 class _Client:
     """One closed-loop client's mutable state."""
 
-    __slots__ = ("host_id", "rng", "requests_done")
+    __slots__ = ("host_id", "index", "rng", "requests_done")
 
-    def __init__(self, host_id: int, rng: random.Random) -> None:
+    def __init__(self, host_id: int, index: int, rng: random.Random) -> None:
         self.host_id = host_id
+        #: dense client rank (0..n_clients-1) in host-id order; the
+        #: client-interleaved request-id allocation keys off it
+        self.index = index
         self.rng = rng
         self.requests_done = 0
 
@@ -86,16 +89,22 @@ class ClosedLoopDriver:
         # spread clients evenly over the host id space -> across racks
         picked = [host_ids[i * len(host_ids) // n] for i in range(n)]
         self.clients: Dict[int, _Client] = {
-            host: _Client(host, scenario.rng.stream(f"rpc:client:{host}"))
-            for host in picked
+            host: _Client(host, i, scenario.rng.stream(f"rpc:client:{host}"))
+            for i, host in enumerate(picked)
         }
         self.matrix = DestinationMatrix(
             spec, scenario.rack_of(), scenario.rng.stream("rpc:matrix")
         )
-        self._next_flow_id = first_flow_id
-        self._next_request_id = 0
-        #: flow id -> (role, request, response_size) for flows we own
-        self._pending_flow: Dict[int, Tuple[str, _Request, int]] = {}
+        #: request and flow ids are allocated per client (interleaved by
+        #: client rank) instead of from global next-id counters: global
+        #: counters hand out ids in *execution* order, which differs
+        #: between a serial run and a sharded run even when every
+        #: client's behavior is identical
+        self._n_clients = len(picked)
+        self._first_flow_id = first_flow_id
+        #: flow id -> (role, request, response_size, slot) for flows we
+        #: own; ``slot`` is the shard index within the request's fan-out
+        self._pending_flow: Dict[int, Tuple[str, _Request, int, int]] = {}
         self._chain_flow_done = None
         self._fluid = None
         self._live_clients = len(picked)
@@ -114,12 +123,20 @@ class ClosedLoopDriver:
             host.on_flow_done = self._flow_done
 
     def start(self, fluid=None) -> None:
-        """Arm each client's first think timer (call after scheduling)."""
+        """Arm each client's first think timer (call after scheduling).
+
+        Each client's events live on its own host's simulator — the
+        same object as ``self.sim`` in a serial run, the host's domain
+        simulator in a sharded one — so the closed loop runs entirely
+        inside the domains that own its endpoints.
+        """
         self._fluid = fluid
+        hosts = self.topology.hosts
         for host in sorted(self.clients):
             client = self.clients[host]
-            self.sim.schedule_call_at(
-                self.sim.now + self._think(client), self._issue, client
+            sim = hosts[host].sim
+            sim.schedule_call_at(
+                sim.now + self._think(client), self._issue, client
             )
 
     @property
@@ -140,25 +157,29 @@ class ClosedLoopDriver:
 
     def _issue(self, client: _Client) -> None:
         spec = self.spec
-        now = self.sim.now
+        now = self.topology.hosts[client.host_id].sim.now
         cap = spec.requests_per_client
         if now >= self.gen_end or (cap and client.requests_done >= cap):
             self._live_clients -= 1
             return
         client.requests_done += 1
         self.requests_issued += 1
-        request = _Request(self._next_request_id, client.host_id, now, spec.fan_out)
-        self._next_request_id += 1
+        request_id = (client.requests_done - 1) * self._n_clients + client.index
+        request = _Request(request_id, client.host_id, now, spec.fan_out)
         self._open_requests += 1
         rng = client.rng
         servers = self.matrix.sample_servers(rng, client.host_id, spec.fan_out)
         flows = []
-        for server in servers:
+        for slot, server in enumerate(servers):
             resp_size = self._response_size(rng)
             flow = self.topology.make_flow(
-                self._take_flow_id(), client.host_id, server, spec.request_size, now
+                self._flow_id(request_id, slot),
+                client.host_id,
+                server,
+                spec.request_size,
+                now,
             )
-            self._pending_flow[flow.flow_id] = (_REQUEST, request, resp_size)
+            self._pending_flow[flow.flow_id] = (_REQUEST, request, resp_size, slot)
             flows.append(flow)
         self._start_flows(flows)
 
@@ -169,10 +190,14 @@ class ClosedLoopDriver:
             self.spec.response_size_min, self.spec.response_size_max
         )
 
-    def _take_flow_id(self) -> int:
-        fid = self._next_flow_id
-        self._next_flow_id += 1
-        return fid
+    def _flow_id(self, request_id: int, slot: int) -> int:
+        """Deterministic flow id: 2*fan_out ids per request.
+
+        Slots ``[0, fan_out)`` are the shard queries, ``[fan_out,
+        2*fan_out)`` the responses — a pure function of the request, so
+        ids agree between serial and sharded execution orders.
+        """
+        return self._first_flow_id + request_id * 2 * self.spec.fan_out + slot
 
     def _start_flows(self, flows: List) -> None:
         if self._fluid is not None:
@@ -191,21 +216,23 @@ class ClosedLoopDriver:
         entry = self._pending_flow.pop(flow.flow_id, None)
         if entry is None:
             return  # background traffic, not ours
-        role, request, resp_size = entry
+        role, request, resp_size, slot = entry
         # in the fluid tier this callback fires at the rate-completion
         # instant while finish_time includes the unloaded tail latency;
         # application progress keys off the delivery time in both tiers
         done_at = flow.finish_time
+        hosts = self.topology.hosts
         if role is _REQUEST:
             # shard query arrived at the server: schedule the response
             # (a fresh event even at zero service time — the fluid tier
             # must not admit flows from inside its own callback)
-            self.sim.schedule_call_at(
+            hosts[flow.dst].sim.schedule_call_at(
                 done_at + self.spec.server_time,
                 self._respond,
                 request,
                 flow.dst,
                 resp_size,
+                slot,
             )
             return
         if done_at > request.finish:
@@ -226,16 +253,22 @@ class ClosedLoopDriver:
         )
         client = self.clients[request.client]
         # the think clock starts when the data is in hand (finish >= now)
-        self.sim.schedule_call_at(
+        hosts[request.client].sim.schedule_call_at(
             request.finish + self._think(client), self._issue, client
         )
 
-    def _respond(self, request: _Request, server: int, resp_size: int) -> None:
+    def _respond(
+        self, request: _Request, server: int, resp_size: int, slot: int
+    ) -> None:
         flow = self.topology.make_flow(
-            self._take_flow_id(), server, request.client, resp_size, self.sim.now
+            self._flow_id(request.request_id, self.spec.fan_out + slot),
+            server,
+            request.client,
+            resp_size,
+            self.topology.hosts[server].sim.now,
         )
         # the fan-in responses are the incast: classify them so FCT
         # breakdowns and rx-byte accounting see them as the paper does
         self.stats.register_incast_flow(flow.flow_id)
-        self._pending_flow[flow.flow_id] = (_RESPONSE, request, 0)
+        self._pending_flow[flow.flow_id] = (_RESPONSE, request, 0, slot)
         self._start_flows([flow])

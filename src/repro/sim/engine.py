@@ -5,24 +5,37 @@ Design notes
 * Callback events (``fn(*args)``) rather than coroutine processes: the
   hot loop is a heap-pop plus a function call, which is the fastest
   structure pure Python offers for a packet-level simulator.
-* The heap stores plain tuples ``(time, seq, event, fn, args)``.  The
-  sequence number is unique, so tuple comparison is decided entirely by
-  the first two integers at C level — no Python ``__lt__`` dunder ever
-  runs during a push or pop.
+* The heap stores plain tuples ``(time, lid, seq, event, fn, args)``.
+  The ``(lid, seq)`` pair is unique, so tuple comparison is decided
+  entirely by the first three integers at C level — no Python
+  ``__lt__`` dunder ever runs during a push or pop.
+* ``lid`` is a *link id*: link deliveries carry the per-build id of the
+  link they crossed (assigned deterministically by ``Topology.connect``
+  in creation order), every locally-scheduled event carries 0.  Ties at
+  the same instant therefore break first by link, then by insertion
+  order.  This makes the ordering key **decomposable**: when a topology
+  is partitioned into sharded domains (:mod:`repro.sim.sharded`), two
+  events in different domains can only interact through a link
+  delivery, and the delivery's ``(time, lid, seq)`` key is computed
+  entirely on the sending side — so per-domain execution order is
+  independent of when boundary messages are physically inserted into
+  the receiving heap, and sharded runs replay the serial order exactly.
 * Integer-nanosecond timestamps: no float drift, and identical event
   ordering across platforms.
-* Ties are broken by insertion order (a monotonically increasing
-  sequence number), which makes runs fully deterministic.
+* Remaining ties are broken by insertion order (a monotonically
+  increasing sequence number), which makes runs fully deterministic.
 * Cancellation is lazy: a cancelled event stays in the heap but is
   skipped when popped.  This is O(1) for cancel and keeps the heap code
-  branch-free.  Both :meth:`Simulator.run` and
+  branch-free.  :meth:`Simulator.run` and
   :meth:`Simulator.peek_next_time` discard cancelled entries the same
-  way — by popping them when they surface at the heap top — so heap
-  state stays consistent no matter which of the two sees them first.
+  way — by popping them when they surface at the heap top — including
+  at the ``until`` boundary of a stepped run, so introspection between
+  stepped ``run`` calls never over-reports live work.
 * Events that never need cancelling (the vast majority: packet
   serialization/propagation) can skip the :class:`Event` handle
   entirely via :meth:`Simulator.schedule_call`, and bulk loads (flow
-  start times) go through :meth:`Simulator.schedule_many`.
+  start times) go through :meth:`Simulator.schedule_many`, which picks
+  ``heappush`` or ``heapify`` based on batch size.
 """
 
 from __future__ import annotations
@@ -71,7 +84,7 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now: int = 0
-        #: heap of (time, seq, Event-or-None, fn, args) tuples
+        #: heap of (time, lid, seq, Event-or-None, fn, args) tuples
         self._heap: list[tuple] = []
         self._seq: int = 0
         self._events_executed: int = 0
@@ -102,7 +115,7 @@ class Simulator:
             )
         self._seq += 1
         ev = Event(time, self._seq, fn, args)
-        heapq.heappush(self._heap, (time, self._seq, ev, fn, args))
+        heapq.heappush(self._heap, (time, 0, self._seq, ev, fn, args))
         return ev
 
     def schedule_call(self, delay: int, fn: Callable[..., Any], *args: Any) -> None:
@@ -114,7 +127,9 @@ class Simulator:
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
         self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, self._seq, None, fn, args))
+        heapq.heappush(
+            self._heap, (self.now + delay, 0, self._seq, None, fn, args)
+        )
 
     def schedule_call_at(self, time: int, fn: Callable[..., Any], *args: Any) -> None:
         """Absolute-time variant of :meth:`schedule_call`."""
@@ -123,29 +138,44 @@ class Simulator:
                 f"cannot schedule at {time}, current time is {self.now}"
             )
         self._seq += 1
-        heapq.heappush(self._heap, (time, self._seq, None, fn, args))
+        heapq.heappush(self._heap, (time, 0, self._seq, None, fn, args))
 
     def schedule_many(
         self, items: Iterable[Tuple[int, Callable[..., Any], tuple]]
     ) -> None:
         """Bulk-schedule ``(abs_time, fn, args)`` entries, no handles.
 
-        Appends every entry and restores the heap invariant once with
-        ``heapify`` — O(n + m) instead of m pushes at O(m log n).  Ties
-        still break by overall insertion order (the shared sequence
-        counter), exactly as if each entry had been scheduled one by
-        one.
+        Small batches are pushed one by one (``m`` pushes at
+        O(log n) each); genuine bulk loads append everything and
+        restore the heap invariant once with ``heapify`` — O(n + m).
+        The crossover is ``m * log2(n) < n``: below it, pushes are
+        cheaper than re-heapifying the whole heap.  Ties break by
+        overall insertion order (the shared sequence counter) either
+        way, exactly as if each entry had been scheduled one by one.
         """
         heap = self._heap
         seq = self._seq
         now = self.now
-        for time, fn, args in items:
+        batch = items if isinstance(items, list) else list(items)
+        n = len(heap)
+        if n and len(batch) * n.bit_length() < n:
+            push = heapq.heappush
+            for time, fn, args in batch:
+                if time < now:
+                    raise ValueError(
+                        f"cannot schedule at {time}, current time is {now}"
+                    )
+                seq += 1
+                push(heap, (time, 0, seq, None, fn, args))
+            self._seq = seq
+            return
+        for time, fn, args in batch:
             if time < now:
                 raise ValueError(
                     f"cannot schedule at {time}, current time is {now}"
                 )
             seq += 1
-            heap.append((time, seq, None, fn, args))
+            heap.append((time, 0, seq, None, fn, args))
         self._seq = seq
         heapq.heapify(heap)
 
@@ -156,7 +186,10 @@ class Simulator:
 
         When ``until`` is given, the clock is left at exactly ``until``
         even if the queue drained earlier, so follow-up ``run`` calls
-        continue from a well-defined point.
+        continue from a well-defined point.  Lazily-cancelled entries
+        surfacing at the heap top — including ones beyond ``until`` —
+        are discarded, so ``pending_events`` between stepped runs
+        reflects live work only.
         """
         if self._running:
             raise RuntimeError("simulator is already running (re-entrant run())")
@@ -171,8 +204,8 @@ class Simulator:
         try:
             if until is None:
                 while heap and not self._stopped:
-                    # single UNPACK beats four tuple index ops per event
-                    time_, _seq, ev, fn, args = pop(heap)
+                    # single UNPACK beats five tuple index ops per event
+                    time_, _lid, _seq, ev, fn, args = pop(heap)
                     if ev is not None and ev.cancelled:
                         continue
                     self.now = time_
@@ -180,9 +213,16 @@ class Simulator:
                     fn(*args)
             else:
                 while heap and not self._stopped:
-                    if heap[0][0] > until:
+                    head = heap[0]
+                    if head[0] > until:
+                        ev = head[3]
+                        if ev is not None and ev.cancelled:
+                            # drain cancelled heads at the boundary so
+                            # stepped runs leave a clean heap top
+                            pop(heap)
+                            continue
                         break
-                    time_, _seq, ev, fn, args = pop(heap)
+                    time_, _lid, _seq, ev, fn, args = pop(heap)
                     if ev is not None and ev.cancelled:
                         continue
                     self.now = time_
@@ -212,16 +252,20 @@ class Simulator:
         try:
             while heap and not self._stopped:
                 if until is not None and heap[0][0] > until:
+                    ev = heap[0][3]
+                    if ev is not None and ev.cancelled:
+                        pop(heap)
+                        continue
                     break
                 item = pop(heap)
-                ev = item[2]
+                ev = item[3]
                 if ev is not None and ev.cancelled:
                     continue
                 self.now = item[0]
                 executed += 1
                 t0 = perf()
-                item[3](*item[4])
-                profiler.note(item[3], perf() - t0, len(heap))
+                item[4](*item[5])
+                profiler.note(item[4], perf() - t0, len(heap))
         finally:
             profiler.wall_seconds += perf() - run_start
             self._events_executed = executed
@@ -260,9 +304,9 @@ class Simulator:
         walk; cancelled entries are filtered out but left in the heap.
         """
         return [
-            (item[0], item[3], item[4])
+            (item[0], item[4], item[5])
             for item in self._heap
-            if item[2] is None or not item[2].cancelled
+            if item[3] is None or not item[3].cancelled
         ]
 
     def peek_next_time(self) -> Optional[int]:
@@ -276,7 +320,7 @@ class Simulator:
         heap = self._heap
         while heap:
             head = heap[0]
-            ev = head[2]
+            ev = head[3]
             if ev is None or not ev.cancelled:
                 return head[0]
             heapq.heappop(heap)

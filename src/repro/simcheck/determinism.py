@@ -34,6 +34,18 @@ SCHEMES: Tuple[Tuple[str, str], ...] = (
     ("ndp", "ndp"),
 )
 
+#: schemes the sharded-equivalence check covers: the sharded engine is
+#: a drop-in execution strategy, so it is proven against the schemes
+#: with the richest switch-side state (pfc-tag replaces ndp here — its
+#: per-port pause machinery exercises the boundary-credit path the
+#: conservative windows must not reorder)
+SHARDED_SCHEMES: Tuple[Tuple[str, str], ...] = (
+    ("dcqcn", "none"),
+    ("floodgate", "floodgate"),
+    ("bfc", "bfc"),
+    ("pfc_tag", "pfc-tag"),
+)
+
 
 class EventStreamDigest:
     """Profiler-slot instrument hashing the executed event stream.
@@ -44,18 +56,27 @@ class EventStreamDigest:
     deterministic quantities — enter the hash.
     """
 
-    __slots__ = ("_sim", "_sha", "events", "wall_seconds")
+    __slots__ = ("_sim", "_sha", "_depth", "events", "wall_seconds")
 
-    def __init__(self, sim) -> None:
+    def __init__(self, sim, include_depth: bool = True) -> None:
         self._sim = sim
         self._sha = hashlib.sha256()
+        #: sharded equivalence checks hash with include_depth=False:
+        #: the event *order* is identical between serial and sharded
+        #: execution, but pending entries are spread across per-domain
+        #: heaps (and boundary messages are inserted at different
+        #: instants per executor), so instantaneous depth is not a
+        #: cross-executor invariant the way timestamp+callback are
+        self._depth = include_depth
         self.events = 0
         self.wall_seconds = 0.0
 
     def note(self, fn, dt: float, heap_depth: int) -> None:
         self.events += 1
         name = getattr(fn, "__qualname__", repr(fn))
-        self._sha.update(b"%d|%d|" % (self._sim.now, heap_depth))
+        self._sha.update(
+            b"%d|%d|" % (self._sim.now, heap_depth if self._depth else 0)
+        )
         self._sha.update(name.encode())
 
     def hexdigest(self) -> str:
@@ -161,6 +182,131 @@ def check_packet_pool_equivalence(config) -> Dict[str, object]:
         "summary_identical": summary_ok,
         "events": pooled_digest.events,
     }
+
+
+def check_sharded_equivalence(
+    config, shards: int, check_interval: Optional[int] = None
+) -> Dict[str, object]:
+    """Sharded execution must replay the serial run byte-for-byte.
+
+    Runs ``config`` serially (depth-free digest — pending work is
+    spread across per-domain heaps, so instantaneous heap depth is not
+    a cross-executor invariant), then through all three sharded
+    executors, and asserts the full equivalence chain:
+
+    * ``lockstep`` merges the per-domain heaps in global key order with
+      a shared sequence counter, so its *global* digest must equal the
+      serial digest outright — event-for-event, timestamp-for-
+      timestamp;
+    * ``barrier`` (conservative windows) and ``process`` (one forked
+      worker per domain) must produce the same *per-domain* digests as
+      lockstep — per-domain order is independent of how domains
+      interleave;
+    * every executor's :class:`ResultSummary` must serialize to the
+      same bytes as the serial one (configs normalized to
+      ``shards=1``, the only field that legitimately differs).
+
+    Closed-loop rpc configs skip process mode (the driver needs one
+    address space; ``shard_mode="auto"`` resolves them to barrier).
+    """
+    import time as _time
+    from dataclasses import replace as dc_replace
+
+    from repro.experiments.parallel import summarize
+    from repro.experiments.runner import run_scenario
+    from repro.experiments.scenario import Scenario
+    from repro.sim.sharded import run_sharded_scenario
+    from repro.units import us
+
+    interval = check_interval if check_interval else us(100)
+
+    def norm_bytes(result) -> bytes:
+        summary = summarize(result)
+        summary = dc_replace(
+            summary,
+            config=dc_replace(summary.config, shards=1, shard_mode="auto"),
+        )
+        return summary.canonical_bytes()
+
+    sc = Scenario(config)
+    serial_digest = EventStreamDigest(sc.sim, include_depth=False)
+    sc.sim.set_profiler(serial_digest)
+    serial_bytes = norm_bytes(run_scenario(config, scenario=sc))
+
+    modes = ["lockstep", "barrier"]
+    if config.pattern != "rpc":
+        modes.append("process")
+    report: Dict[str, object] = {
+        "shards": shards,
+        "serial_digest": serial_digest.hexdigest(),
+        "modes": {},
+        "ok": True,
+    }
+    domain_reference: Optional[List[str]] = None
+    for mode in modes:
+        cfg = dc_replace(config, shards=shards, shard_mode=mode)
+        result = run_sharded_scenario(
+            Scenario(cfg),
+            check_interval=interval,
+            wall_start=_time.monotonic(),  # simcheck: ignore[SIM002] -- wall time for reporting only
+            collect_digests=True,
+        )
+        summary_ok = norm_bytes(result) == serial_bytes
+        if mode == "lockstep":
+            domain_reference = result.shard_digests
+            stream_ok = result.shard_global_digest == serial_digest.hexdigest()
+        else:
+            stream_ok = result.shard_digests == domain_reference
+        mode_ok = summary_ok and stream_ok
+        report["modes"][mode] = {
+            "events_identical": stream_ok,
+            "summary_identical": summary_ok,
+            "domain_digests": result.shard_digests,
+            "ok": mode_ok,
+        }
+        report["ok"] = report["ok"] and mode_ok
+    return report
+
+
+def run_sharded_suite(
+    seed: int = 1,
+    schemes: Optional[List[str]] = None,
+    shards: Tuple[int, ...] = (2, 4),
+    scenarios: Tuple[str, ...] = ("quick", "incast256"),
+) -> Dict[str, object]:
+    """The battery behind ``repro.cli check --sharded``.
+
+    For every (scenario, scheme, shard count): serial vs lockstep vs
+    barrier vs process, asserting byte-identical event streams and
+    result summaries (:func:`check_sharded_equivalence`).  Scenarios
+    come from the declarative registry; multi-config entries use their
+    first config (the sweep variants only scale the same machinery).
+    """
+    from dataclasses import replace as dc_replace
+
+    from repro.experiments import registry
+
+    wanted = dict(SHARDED_SCHEMES)
+    if schemes:
+        unknown = [s for s in schemes if s not in wanted]
+        if unknown:
+            raise ValueError(
+                f"unknown scheme(s) {unknown}; choose from {sorted(wanted)}"
+            )
+        selected = {name: wanted[name] for name in schemes}
+    else:
+        selected = wanted
+    report: Dict[str, object] = {"cases": {}, "ok": True}
+    for scenario_name in scenarios:
+        base = registry.get(scenario_name).configs[0]
+        for scheme, fc in selected.items():
+            cfg = dc_replace(base, flow_control=fc, seed=seed)
+            for n in shards:
+                rep = check_sharded_equivalence(cfg, n)
+                key = f"{scenario_name}/{scheme}/x{n}"
+                report["cases"][key] = rep
+                report["ok"] = report["ok"] and bool(rep["ok"])
+    return report
 
 
 def _scheme_config(flow_control: str, seed: int, sanitize):

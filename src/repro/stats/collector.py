@@ -256,6 +256,102 @@ class StatsHub:
         """Total PFC paused time for a node class, in microseconds."""
         return self.pfc_paused_time.get(node_kind, 0) / 1_000.0
 
+    # -- canonicalization / merging (repro.sim.sharded) -----------------------------
+
+    def canonicalize(self) -> None:
+        """Rewrite every container into a content-determined layout.
+
+        Append order of the record lists and insertion order of the
+        dicts/sets reflect *execution* order, which differs between a
+        serial run and a sharded run (domains interleave differently)
+        even when the contents are identical.  Re-sorting everything by
+        content makes the pickled hub — and therefore
+        ``ResultSummary.canonical_bytes()`` — a function of *what* was
+        measured, not the order it was measured in.  Idempotent;
+        applied to every run's hub by the runner so serial and sharded
+        summaries compare byte-for-byte.
+        """
+        self.fct_records.sort(key=lambda r: (r.finish_time, r.flow_id))
+        self.rpc_records.sort(key=lambda r: (r.finish_time, r.request_id))
+        self.stalls.sort()
+        self.flow_class = dict(sorted(self.flow_class.items()))
+        self.switch_max_buffer = dict(sorted(self.switch_max_buffer.items()))
+        self.port_max_buffer = dict(sorted(self.port_max_buffer.items()))
+        self.queuing_incast = dict(sorted(self.queuing_incast.items()))
+        self.queuing_normal = dict(sorted(self.queuing_normal.items()))
+        self.pfc_paused_time = dict(sorted(self.pfc_paused_time.items()))
+        self.rx_bytes_by_class = dict(
+            sorted(self.rx_bytes_by_class.items(), key=lambda kv: kv[0].value)
+        )
+        # rebuilding from sorted insertion gives the set a
+        # content-determined hash-table layout, hence a stable pickle
+        self._incast_flows = set(sorted(self._incast_flows))
+
+    def merge_from(self, other: "StatsHub") -> None:
+        """Fold another hub's measurements into this one.
+
+        Used by the sharded executors to combine per-domain hubs: the
+        domains observe disjoint devices, so per-switch/per-port maxima
+        never collide, record lists concatenate, and counters add.
+        Call :meth:`canonicalize` afterwards to restore a canonical
+        layout.  Telemetry histograms are per-run wiring and must not
+        be installed on merged hubs.
+        """
+        if (
+            self.fct_histogram is not None
+            or other.fct_histogram is not None
+            or self.queuing_histogram is not None
+            or other.queuing_histogram is not None
+            or self.rpc_histogram is not None
+            or other.rpc_histogram is not None
+        ):
+            raise ValueError("cannot merge hubs with telemetry histograms")
+        self.fct_records.extend(other.fct_records)
+        self.rpc_records.extend(other.rpc_records)
+        self.flow_class.update(other.flow_class)
+        for name, used in other.switch_max_buffer.items():
+            if used > self.switch_max_buffer.get(name, 0):
+                self.switch_max_buffer[name] = used
+        for key, used in other.port_max_buffer.items():
+            if used > self.port_max_buffer.get(key, 0):
+                self.port_max_buffer[key] = used
+        self.max_switch_buffer = max(
+            self.max_switch_buffer, other.max_switch_buffer
+        )
+        for table, theirs in (
+            (self.queuing_incast, other.queuing_incast),
+            (self.queuing_normal, other.queuing_normal),
+        ):
+            for role, (total, count) in theirs.items():
+                cell = table.get(role)
+                if cell is None:
+                    table[role] = [total, count]
+                else:
+                    cell[0] += total
+                    cell[1] += count
+        for kind, paused in other.pfc_paused_time.items():
+            self.pfc_paused_time[kind] = (
+                self.pfc_paused_time.get(kind, 0) + paused
+            )
+        self.pfc_pause_events += other.pfc_pause_events
+        self.packets_dropped += other.packets_dropped
+        for key, count in other.fault_drops.items():
+            self.fault_drops[key] = self.fault_drops.get(key, 0) + count
+        self.fault_corruptions += other.fault_corruptions
+        self.corrupt_rx += other.corrupt_rx
+        self.unclaimed_control_frames += other.unclaimed_control_frames
+        self.stalls.extend(other.stalls)
+        self.track_bandwidth = self.track_bandwidth or other.track_bandwidth
+        for cat, size in other.tx_bytes_by_category.items():
+            self.tx_bytes_by_category[cat] = (
+                self.tx_bytes_by_category.get(cat, 0) + size
+            )
+        for cls, size in other.rx_bytes_by_class.items():
+            self.rx_bytes_by_class[cls] = (
+                self.rx_bytes_by_class.get(cls, 0) + size
+            )
+        self._incast_flows |= other._incast_flows
+
     @property
     def fault_drops_total(self) -> int:
         """All injected drops, both packet classes."""

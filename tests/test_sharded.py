@@ -1,0 +1,187 @@
+"""Sharded conservative-parallel execution: partitioning, config
+restrictions, and byte-identical equivalence with the serial engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.scenario import Scenario, ScenarioConfig
+from repro.faults.plan import FaultPlan, LinkDown
+from repro.rpc import RpcWorkloadSpec
+from repro.sim.sharded import (
+    boundary_lookahead,
+    partition_nodes,
+    resolve_mode,
+    run_sharded_scenario,
+)
+from repro.simcheck.determinism import check_sharded_equivalence
+from repro.simcheck.sanitizer import SanitizerConfig
+from repro.telemetry.registry import TelemetryConfig
+from repro.units import us
+
+
+def tiny_cfg(**kw) -> ScenarioConfig:
+    params = dict(
+        workload="websearch",
+        cc="dcqcn",
+        n_tors=4,
+        hosts_per_tor=2,
+        duration=us(200),
+        seed=2,
+    )
+    params.update(kw)
+    return ScenarioConfig(**params)
+
+
+def rpc_cfg(**kw) -> ScenarioConfig:
+    params = dict(
+        pattern="rpc",
+        rpc=RpcWorkloadSpec(
+            n_clients=4,
+            fan_out=3,
+            requests_per_client=2,
+            think_time=us(10),
+        ),
+        flow_control="floodgate",
+        cc="dcqcn",
+        n_tors=4,
+        hosts_per_tor=2,
+        duration=us(400),
+        seed=3,
+    )
+    params.update(kw)
+    return ScenarioConfig(**params)
+
+
+class TestPartition:
+    def test_leaf_spine_hosts_follow_their_tor(self):
+        sc = Scenario(tiny_cfg())
+        domain = partition_nodes(sc, 2)
+        topo = sc.topology
+        assert set(domain.values()) == {0, 1}
+        assert set(domain) == {
+            n.node_id for n in (*topo.hosts, *topo.switches)
+        }
+        for host in topo.hosts:
+            tor = host.links[0].peer_of(host)
+            assert domain[host.node_id] == domain[tor.node_id]
+
+    def test_tors_split_into_contiguous_groups(self):
+        sc = Scenario(tiny_cfg())
+        domain = partition_nodes(sc, 2)
+        tors = [s for s in sc.topology.switches if s.level == 0]
+        assert [domain[t.node_id] for t in tors] == [0, 0, 1, 1]
+
+    def test_fat_tree_partitions_per_pod(self):
+        sc = Scenario(
+            tiny_cfg(
+                topology="fat-tree",
+                fat_tree_k=4,
+                hosts_per_edge=1,
+                pattern="poisson",
+                poisson_load=0.1,
+            )
+        )
+        domain = partition_nodes(sc, 4)
+        hosts_per_pod = 2  # k/2 edges x 1 host
+        for host in sc.topology.hosts:
+            assert domain[host.node_id] == host.node_id // hosts_per_pod
+        # every non-core switch lives with its pod's hosts
+        for sw in sc.topology.switches:
+            if sw.level < 2:
+                peers = {
+                    domain[h.node_id]
+                    for h in sc.topology.hosts
+                    if domain[h.node_id] == domain[sw.node_id]
+                }
+                assert peers == {domain[sw.node_id]}
+
+    def test_empty_domain_rejected(self):
+        sc = Scenario(tiny_cfg(topology="dumbbell"))
+        with pytest.raises(ValueError, match="empty"):
+            partition_nodes(sc, 4)
+
+    def test_lookahead_is_min_cross_domain_delay(self):
+        sc = Scenario(tiny_cfg())
+        domain = partition_nodes(sc, 2)
+        cross = min(
+            link.delay
+            for link in sc.topology.links
+            if domain[link.node_a.node_id] != domain[link.node_b.node_id]
+        )
+        assert boundary_lookahead(sc.topology, domain) == cross
+
+    def test_lookahead_requires_a_boundary(self):
+        sc = Scenario(tiny_cfg())
+        all_home = {
+            n.node_id: 0
+            for n in (*sc.topology.hosts, *sc.topology.switches)
+        }
+        with pytest.raises(ValueError, match="cross a domain boundary"):
+            boundary_lookahead(sc.topology, all_home)
+
+
+class TestConfigRestrictions:
+    def test_shards_must_be_positive(self):
+        with pytest.raises(ValueError, match="positive integer"):
+            tiny_cfg(shards=0)
+
+    def test_unknown_shard_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown shard_mode"):
+            tiny_cfg(shard_mode="threads")
+
+    def test_flow_fidelity_rejected(self):
+        with pytest.raises(ValueError, match="fidelity='packet'"):
+            tiny_cfg(shards=2, fidelity="flow")
+
+    def test_fault_plan_rejected(self):
+        plan = FaultPlan((LinkDown(at=us(10), duration=us(20)),))
+        with pytest.raises(ValueError, match="fault plan"):
+            tiny_cfg(shards=2, fault_plan=plan)
+
+    def test_telemetry_rejected(self):
+        with pytest.raises(ValueError, match="telemetry"):
+            tiny_cfg(shards=2, telemetry=TelemetryConfig())
+
+    def test_sanitizer_rejected(self):
+        with pytest.raises(ValueError, match="sanitizer"):
+            tiny_cfg(shards=2, sanitize=SanitizerConfig())
+
+    def test_auto_mode_resolution(self):
+        assert resolve_mode(tiny_cfg(shards=2)) == "process"
+        assert resolve_mode(rpc_cfg(shards=2)) == "barrier"
+
+    def test_process_mode_rejects_rpc(self):
+        cfg = rpc_cfg(shards=2, shard_mode="process")
+        with pytest.raises(ValueError, match="shard_mode='process'"):
+            resolve_mode(cfg)
+        with pytest.raises(ValueError, match="shard_mode='process'"):
+            run_sharded_scenario(Scenario(cfg), us(100), 0.0)
+
+
+class TestEquivalence:
+    def test_all_executors_match_serial(self):
+        report = check_sharded_equivalence(tiny_cfg(), shards=2)
+        assert set(report["modes"]) == {"lockstep", "barrier", "process"}
+        for mode, rep in report["modes"].items():
+            assert rep["events_identical"], mode
+            assert rep["summary_identical"], mode
+        assert report["ok"]
+
+    def test_domain_digests_agree_across_executors(self):
+        report = check_sharded_equivalence(
+            tiny_cfg(flow_control="floodgate"), shards=2
+        )
+        digests = {
+            mode: tuple(rep["domain_digests"])
+            for mode, rep in report["modes"].items()
+        }
+        assert len(set(digests.values())) == 1
+        assert report["ok"]
+
+    def test_rpc_closed_loop_matches_serial(self):
+        # the barrier executor is the only sharded path for closed-loop
+        # rpc; its windows must replay the serial run byte-for-byte
+        report = check_sharded_equivalence(rpc_cfg(), shards=2)
+        assert set(report["modes"]) == {"lockstep", "barrier"}
+        assert report["ok"]

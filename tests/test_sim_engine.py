@@ -131,6 +131,32 @@ class TestScheduling:
         assert sim.events_executed == 2  # cancelled event never counted
         assert sim.now == 10
 
+    def test_stepped_run_until_drains_cancelled_heads(self):
+        # the sharded barrier loop steps run(until=window) repeatedly;
+        # events cancelled between windows must neither fire nor stall
+        # the heap when they sit at the head at a window boundary
+        sim = Simulator()
+        order = []
+        doomed = [sim.schedule(15 + i, order.append, f"dead{i}") for i in range(3)]
+        sim.schedule(5, order.append, "a")
+        sim.schedule(25, order.append, "b")
+        sim.schedule(45, order.append, "c")
+        sim.run(until=10)
+        assert order == ["a"] and sim.now == 10
+        for ev in doomed:
+            ev.cancel()
+        # cancelled events 15..17 are now the heap head; stepping across
+        # them must skip straight to the live event at 25
+        sim.run(until=20)
+        assert order == ["a"] and sim.now == 20
+        sim.run(until=30)
+        assert order == ["a", "b"] and sim.now == 30
+        sim.run(until=50)
+        assert order == ["a", "b", "c"]
+        assert sim.now == 50
+        assert sim.events_executed == 3  # cancelled heads never counted
+        assert sim.pending_events == 0
+
     def test_cancel_peek_interleaved_with_run_chunks(self):
         # the runner's pattern: run(until=...), peek, run(until=...)
         sim = Simulator()
@@ -193,6 +219,42 @@ class TestFastPathScheduling:
         sim.run()
         with pytest.raises(ValueError):
             sim.schedule_many([(5, lambda: None, ())])
+
+    def test_schedule_many_small_batch_matches_one_by_one(self):
+        # a tiny batch against a large heap takes the heappush branch;
+        # the same loads scheduled one by one must execute identically
+        def load(sim, order):
+            for i in range(200):
+                sim.schedule_call_at(2 * i, order.append, ("bulk", 2 * i))
+
+        batched = Simulator()
+        batched_order = []
+        load(batched, batched_order)
+        batched.schedule_many(
+            [(7, batched_order.append, (("batch", k),)) for k in range(3)]
+        )
+        serial = Simulator()
+        serial_order = []
+        load(serial, serial_order)
+        for k in range(3):
+            serial.schedule_call_at(7, serial_order.append, ("batch", k))
+        batched.run()
+        serial.run()
+        assert batched_order == serial_order
+
+    def test_schedule_many_small_batch_tie_order_interleaved(self):
+        # small-batch pushes share the global sequence counter, so ties
+        # at one instant keep overall insertion order across the
+        # batched and non-batched scheduling paths
+        sim = Simulator()
+        for i in range(100):
+            sim.schedule_call_at(1000 + i, lambda: None)
+        order = []
+        sim.schedule(5, order.append, "before")
+        sim.schedule_many([(5, order.append, ("batch",))])
+        sim.schedule(5, order.append, "after")
+        sim.run(until=10)
+        assert order == ["before", "batch", "after"]
 
     def test_mixed_fast_and_cancellable_events(self):
         sim = Simulator()
