@@ -180,6 +180,11 @@ def _check(args) -> int:
     report = run_check(root=root, paths=args.paths or None)
     for finding in report.findings:
         print(finding.format())
+    for entry in report.dead_allowlist:
+        print(
+            f"simcheck-allowlist.txt: dead entry `{entry.rule} {entry.glob}` "
+            "matches no scanned file; remove or fix the glob"
+        )
     print(f"simcheck: {report.summary()}", file=sys.stderr)
     status = 0 if report.ok else 1
 
@@ -220,6 +225,7 @@ def _check(args) -> int:
             schemes=args.schemes,
             shards=tuple(args.shards),
             scenarios=tuple(args.scenarios),
+            isolate=args.isolate,
         )
         for key, rep in sharded["cases"].items():
             mark = "ok" if rep["ok"] else "FAIL"
@@ -228,6 +234,9 @@ def _check(args) -> int:
                 for m, r in rep["modes"].items()
             )
             print(f"  {key:28s} {mark}  {modes}")
+            for m, r in rep["modes"].items():
+                for v in r.get("isolation_violations", []):
+                    print(f"    {m}: {v}")
         print(
             f"simcheck: sharded suite done in {time.monotonic() - start:.1f}s",
             file=sys.stderr,
@@ -404,10 +413,15 @@ def main(argv: list[str] | None = None) -> int:
         "show", help="print one scenario's full config(s)"
     )
     scenarios_show_p.add_argument("name", help="registry name")
+    # the advertised rule span is generated from the catalogue so this
+    # help line can never drift from rules.RULES again
+    from repro.simcheck.rules import RULES as _RULES
+
+    _rule_ids = sorted(r for r in _RULES if r != "SIM000")
     check_p = sub.add_parser(
         "check",
-        help="determinism lint (SIM001..SIM004); --sanitize adds the "
-        "runtime invariant + digest suite",
+        help=f"determinism + shard-safety lint ({_rule_ids[0]}..{_rule_ids[-1]}); "
+        "--sanitize adds the runtime invariant + digest suite",
     )
     check_p.add_argument(
         "paths",
@@ -452,6 +466,12 @@ def main(argv: list[str] | None = None) -> int:
         metavar="NAME",
         help="registry scenarios for the --sharded suite "
         "(default: quick incast256)",
+    )
+    check_p.add_argument(
+        "--isolate",
+        action="store_true",
+        help="with --sharded: tag hot objects with domain ids and trap "
+        "cross-domain mutations at dispatch (ShardIsolationSanitizer)",
     )
     check_p.add_argument("--seed", type=int, default=1)
     check_p.add_argument(

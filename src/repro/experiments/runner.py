@@ -49,6 +49,12 @@ class ScenarioResult:
     #: lockstep-mode global digest (hex), byte-comparable to a serial
     #: run's depth-free EventStreamDigest
     shard_global_digest: Optional[str] = None
+    #: fault counters merged back from sharded workers (the parent's
+    #: in-memory injector never ran there); None everywhere else
+    shard_fault_summary: Optional[Dict[str, int]] = None
+    #: cross-domain mutations the isolation sanitizer caught under
+    #: ``check --sharded --isolate``; None when isolation was off
+    shard_isolation_violations: Optional[List[str]] = None
 
     # -- FCT ---------------------------------------------------------------------
 
@@ -127,6 +133,8 @@ class ScenarioResult:
     @property
     def fault_summary(self) -> Dict[str, int]:
         """Injected-fault counters, or {} when no plan was installed."""
+        if self.shard_fault_summary is not None:
+            return self.shard_fault_summary
         injector = self.scenario.fault_injector
         return injector.summary() if injector is not None else {}
 
@@ -149,6 +157,7 @@ def run_scenario(
     config: ScenarioConfig,
     scenario: Optional[Scenario] = None,
     check_interval: int = us(100),
+    isolate: bool = False,
 ) -> ScenarioResult:
     """Build (unless given), schedule, and run a scenario to completion."""
     wall_start = time.monotonic()  # simcheck: ignore[SIM002] -- wall time for reporting only
@@ -159,7 +168,9 @@ def run_scenario(
         # serial loop below stays byte-for-byte untouched at shards=1.
         from repro.sim.sharded import run_sharded_scenario
 
-        return run_sharded_scenario(sc, check_interval, wall_start)
+        return run_sharded_scenario(
+            sc, check_interval, wall_start, isolate=isolate
+        )
     fluid = None
     if sc.config.fidelity == "flow":
         # fluid tier: same Scenario build (topology, routes, traffic,

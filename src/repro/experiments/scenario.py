@@ -226,30 +226,16 @@ class ScenarioConfig:
                 f"unknown shard_mode {self.shard_mode!r}; valid values: "
                 f"auto, lockstep, barrier, process"
             )
-        if self.shards > 1:
-            # sharded execution covers the packet engine's steady-state
-            # machinery; the orthogonal observation/fault layers keep
-            # global state that has no cross-domain merge story yet
-            if self.fidelity != "packet":
-                raise ValueError(
-                    "shards > 1 requires fidelity='packet' (the fluid "
-                    "model is a single global rate computation)"
-                )
-            if self.fault_plan is not None:
-                raise ValueError(
-                    "shards > 1 cannot run a fault plan; fault injection "
-                    "needs the serial engine"
-                )
-            if self.telemetry is not None:
-                raise ValueError(
-                    "shards > 1 cannot record telemetry; the collector "
-                    "samples one global simulator clock"
-                )
-            if self.sanitize:
-                raise ValueError(
-                    "shards > 1 cannot run the sanitizer; invariant "
-                    "sweeps walk the whole topology on one clock"
-                )
+        if self.shards > 1 and self.fidelity != "packet":
+            # faults, telemetry, and the sanitizer all run under shards
+            # now (domain-local fault application, per-domain telemetry
+            # shards, per-domain conservation ledgers — see
+            # repro.sim.sharded); the fluid tier remains a single global
+            # rate computation with nothing to partition
+            raise ValueError(
+                "shards > 1 requires fidelity='packet' (the fluid "
+                "model is a single global rate computation)"
+            )
         if self.fidelity == "flow":
             if self.flow_control not in _FLOW_FIDELITY_FLOW_CONTROL:
                 raise ValueError(
@@ -343,15 +329,22 @@ class Scenario:
         self.fluid = None
         self.fault_injector: Optional[FaultInjector] = None
         self.watchdog: Optional[StallWatchdog] = None
-        self._install_faults()
         self.telemetry: Optional[TelemetryRecorder] = None
-        if cfg.telemetry is not None:
-            self.telemetry = TelemetryRecorder(self, cfg.telemetry)
-            self.telemetry.start()
         self.sanitizer: Optional[SimSanitizer] = None
-        if cfg.sanitize is not None:
-            self.sanitizer = SimSanitizer(self, cfg.sanitize)
-            self.sanitizer.start()
+        if cfg.shards == 1:
+            # a sharded run defers all three layers to the sharded
+            # runner, which installs them *after* domain binding so
+            # fault events land on their link's own simulator, samplers
+            # read per-domain hub shards, and the sanitizer keeps
+            # per-domain conservation ledgers (repro.sim.sharded); the
+            # install order there mirrors this one
+            self._install_faults()
+            if cfg.telemetry is not None:
+                self.telemetry = TelemetryRecorder(self, cfg.telemetry)
+                self.telemetry.start()
+            if cfg.sanitize is not None:
+                self.sanitizer = SimSanitizer(self, cfg.sanitize)
+                self.sanitizer.start()
 
     def _install_faults(self) -> None:
         """Arm the fault plan, if any (no plan -> nothing scheduled)."""

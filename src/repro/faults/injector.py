@@ -216,7 +216,10 @@ class LinkFaultState:
         if self.guard_arrivals:
             self.sim.schedule_call(delay, self._arrive, pkt, peer, peer_port)
         else:
-            self.sim.schedule_call(delay, peer.receive, pkt, peer_port)
+            # fault state replaces the tail of Link.deliver, and only
+            # intra-domain links may carry faults (the sharded runner
+            # rejects boundary-crossing plans), so peer shares this sim
+            self.sim.schedule_call(delay, peer.receive, pkt, peer_port)  # simcheck: ignore[SIM007] -- intra-domain by validation; boundary fault plans are rejected
 
     def _arrive(self, pkt: "Packet", peer: "Node", peer_port: int) -> None:
         """Arrival guard: a drop-mode outage kills packets in flight."""
@@ -265,31 +268,43 @@ class FaultInjector:
         idx = self.topology.links.index(link)
         state = self.states.get(idx)
         if state is None:
+            # domain-local application: the state lives on the link's
+            # owning simulator and reports into the hub of the link's
+            # domain (node_a and node_b share a domain — the sharded
+            # runner rejects boundary-crossing plans; serially both
+            # expressions resolve to the scenario-wide sim and hub)
             state = LinkFaultState(
-                self.sim,
+                link.sim,
                 link,
                 self.rng.stream(f"faults:link:{idx}"),
-                stats=self.stats,
+                stats=getattr(link.node_a, "stats", None) or self.stats,
             )
             self.states[idx] = state
             link.fault = state
         return state
 
+    def _at_for(self, link: "Link"):
+        """Absolute scheduling on the link's owning domain simulator."""
+        return link.sim.schedule_call_at
+
     def install(self) -> None:
         """Resolve selectors, attach link states, schedule transitions.
 
         Call once, before the simulation starts (fault times are
-        absolute).  A plan with no faults installs nothing.
+        absolute).  A plan with no faults installs nothing.  Every
+        transition is scheduled on the faulted link's own simulator, so
+        under the sharded engine each domain replays exactly the serial
+        subsequence of fault events it owns.
         """
         if self.installed:
             raise RuntimeError("fault plan already installed")
         self.installed = True
-        at = self.sim.schedule_call_at
         for spec in self.plan.faults:
             links = match_links(spec.link, self.topology)
             if isinstance(spec, LinkDown):
                 drop = spec.mode == MODE_DROP
                 for link in links:
+                    at = self._at_for(link)
                     state = self._state_for(link)
                     if drop:
                         state.guard_arrivals = True
@@ -300,6 +315,7 @@ class FaultInjector:
             elif isinstance(spec, (RandomLoss, BurstLoss)):
                 start = spec.at if isinstance(spec, BurstLoss) else spec.start
                 for link in links:
+                    at = self._at_for(link)
                     state = self._state_for(link)
                     at(start, state.add_loss, spec.data_rate, spec.ctrl_rate)
                     if spec.duration > 0:
@@ -311,6 +327,7 @@ class FaultInjector:
                         )
             elif isinstance(spec, Corruption):
                 for link in links:
+                    at = self._at_for(link)
                     state = self._state_for(link)
                     at(spec.start, state.add_corruption, spec.rate)
                     if spec.duration > 0:
@@ -321,6 +338,7 @@ class FaultInjector:
                         )
             elif isinstance(spec, PortDegrade):
                 for link in links:
+                    at = self._at_for(link)
                     if spec.extra_delay:
                         state = self._state_for(link)
                         at(spec.at, state.add_delay, spec.extra_delay)

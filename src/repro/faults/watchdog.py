@@ -46,7 +46,7 @@ class StallWatchdog:
         self.topology = topology
         self.stats = stats
         self.window = window
-        self._task = PeriodicTask(sim, window, self._check)
+        self._task = PeriodicTask(sim, window, self._check, observer=True)
         self._last_progress: Optional[Tuple[int, int]] = None
         #: True while inside a stall episode (suppresses re-reporting)
         self.stalled = False

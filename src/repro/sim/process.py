@@ -55,6 +55,14 @@ class PeriodicTask:
     ``phase`` to shift it).  The callback runs before the next interval
     is scheduled, so a callback that calls :meth:`stop` terminates the
     task cleanly.
+
+    ``observer=True`` marks the task as pure observation: its callback
+    reads simulation state but never mutates it or schedules follow-up
+    work (telemetry samplers, sanitizer sweeps, stall watchdogs).  The
+    determinism harness excludes observer ticks from event-stream
+    digests, because a sharded run observes per domain (D ticks per
+    interval) where a serial run observes once — the *simulation*
+    streams are still required to match byte-for-byte.
     """
 
     def __init__(
@@ -63,6 +71,7 @@ class PeriodicTask:
         interval: int,
         fn: Callable[..., Any],
         *args: Any,
+        observer: bool = False,
     ) -> None:
         if interval <= 0:
             raise ValueError(f"interval must be positive, got {interval}")
@@ -72,6 +81,7 @@ class PeriodicTask:
         self._args = args
         self._event: Optional[Event] = None
         self._running = False
+        self.observer = observer
 
     @property
     def running(self) -> bool:

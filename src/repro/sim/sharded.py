@@ -40,9 +40,22 @@ Three executors share that argument:
   boundary deliveries and barrier control ride pipes, and per-domain
   stats hubs are merged (:meth:`StatsHub.merge_from`) at the end.
 
-Restrictions (enforced by ``ScenarioConfig.__post_init__``): packet
-fidelity only, no fault plans, no telemetry, no sanitizer; the rpc
-closed loop runs under the in-process executors only.
+Fault plans, telemetry, and the sanitizer all run under shards.  Each
+is installed *after* domain binding so its state is domain-local:
+fault transitions are scheduled on the faulted link's own simulator
+(plans touching boundary links are rejected up front), telemetry
+samples per-domain hub shards merged in deterministic domain order
+(:mod:`repro.telemetry.shard`), and the sanitizer keeps per-domain
+conservation ledgers summed at barrier windows
+(:class:`~repro.simcheck.sanitizer.ShardedSanitizer`).  The optional
+isolation sanitizer (``check --sharded --isolate``) tags hot objects
+with their owning domain and asserts every executed callback ran under
+that domain (:mod:`repro.simcheck.isolation`).
+
+Remaining restrictions (enforced by ``ScenarioConfig.__post_init__``
+and this module): packet fidelity only; the rpc closed loop and the
+stall watchdog need one address space, so they run under the
+in-process executors only.
 """
 
 from __future__ import annotations
@@ -51,7 +64,7 @@ import time as _time
 from heapq import heappop, heappush
 from typing import Dict, List, Optional, Tuple
 
-from repro.net.packet import DISABLED_POOL, PacketPool
+from repro.net.packet import DISABLED_POOL, PacketKind, PacketPool
 from repro.sim.engine import Simulator
 
 __all__ = [
@@ -233,6 +246,7 @@ def _bind_domains(
     sims: List[Simulator],
     pools: list,
     channel,
+    hubs: Optional[list] = None,
 ) -> None:
     """Rebind every node, port, link, and extension to its domain.
 
@@ -241,12 +255,20 @@ def _bind_domains(
     rebinding is pure pointer surgery — no scheduled event moves.
     Boundary links get the channel instead of a domain sim; their
     ``deliver`` computes the ordering key on the sending side.
+
+    ``hubs`` (in-process telemetry runs only) rebinds every node's
+    stats sink to its domain's hub shard, so sampler reads and hot-path
+    records stay domain-local; every ``.stats`` access in the data path
+    goes through the node attribute, so this one rebind covers hosts,
+    switches, extensions, and link fault states alike.
     """
     topo = scenario.topology
     for node in topo.hosts + topo.switches:
         d = domain_of[node.node_id]
         node.sim = sims[d]
         node.pool = pools[d]
+        if hubs is not None:
+            node.stats = hubs[d]
         for port in node.ports:
             port.sim = sims[d]
     for link in topo.links:
@@ -300,6 +322,107 @@ class _Clock:
 
 
 # ---------------------------------------------------------------------------
+# faults / telemetry / sanitizer under shards
+# ---------------------------------------------------------------------------
+
+
+def _validate_fault_plan(scenario, domain_of: Dict[int, int]) -> None:
+    """Reject fault plans that touch a boundary link.
+
+    A boundary link's delivery is split across two domains (send-side
+    key computation, receive-side execution), so a fault state on it
+    would be mutated from both — the exact cross-domain aliasing the
+    shard-safety lints forbid.  Domain-local application is the only
+    sound semantics, so boundary-crossing plans fail fast here rather
+    than silently diverging from serial.
+    """
+    plan = scenario.config.fault_plan
+    if plan is None or not plan.faults:
+        return
+    from repro.faults.injector import match_links
+
+    for fault in plan.faults:
+        for link in match_links(fault.link, scenario.topology):
+            da = domain_of[link.node_a.node_id]
+            db = domain_of[link.node_b.node_id]
+            if da != db:
+                raise ValueError(
+                    f"fault plan selector {fault.link!r} matches boundary "
+                    f"link {link.node_a.name}<->{link.node_b.name} "
+                    f"(domains {da} and {db}); sharded fault application "
+                    "is domain-local — target intra-domain links (e.g. "
+                    "'host-switch') or use shards=1"
+                )
+
+
+def _install_faults_sharded(scenario, watchdog_sim: Optional[Simulator]) -> None:
+    """Arm the fault plan after domain binding (in-process executors).
+
+    ``LinkFaultState`` schedules every transition on its link's own
+    domain simulator and counts drops into the link's owner hub, so
+    installation is domain-local once validation has rejected boundary
+    targets.  The stall watchdog is a whole-run observer with no
+    per-domain state; it rides the first domain's engine (windows are
+    exact under lockstep, approximate under barrier — each sweep sees
+    other domains at most one window behind).
+    """
+    plan = scenario.config.fault_plan
+    if plan is None or not plan:
+        return
+    if plan.faults:
+        from repro.faults.injector import FaultInjector
+
+        injector = FaultInjector(
+            scenario.sim, scenario.topology, plan, scenario.rng,
+            stats=scenario.stats,
+        )
+        injector.install()
+        scenario.fault_injector = injector
+    if plan.stall_window > 0 and watchdog_sim is not None:
+        from repro.faults.watchdog import StallWatchdog
+
+        watchdog = StallWatchdog(
+            watchdog_sim, scenario.topology, scenario.stats,
+            plan.stall_window,
+        )
+        watchdog.start()
+        scenario.watchdog = watchdog
+
+
+def _wire_shard_telemetry(scenario, domain_of, sims, hubs, tele_cfg) -> list:
+    """One started :class:`DomainTelemetry` per domain, in domain order."""
+    from repro.telemetry.shard import DomainTelemetry
+
+    topo = scenario.topology
+    recorders = []
+    for d, sim in enumerate(sims):
+        hosts = [h for h in topo.hosts if domain_of[h.node_id] == d]
+        switches = [s for s in topo.switches if domain_of[s.node_id] == d]
+        recorder = DomainTelemetry(d, sim, tele_cfg, hubs[d], hosts, switches)
+        recorder.start()
+        recorders.append(recorder)
+    if tele_cfg.histograms and scenario.rpc_driver is not None:
+        # request latencies record on the parent hub (the driver's own
+        # sink); per-domain hub shards carry fct/queuing only
+        from repro.telemetry.registry import Histogram
+
+        scenario.stats.rpc_histogram = Histogram("rpc_latency_ns", unit="ns")
+    return recorders
+
+
+def _set_domain_profilers(sims, sinks_of) -> None:
+    """Install per-domain profiler-slot sinks, fanning out when needed."""
+    from repro.telemetry.profile import ProfilerFanout
+
+    for d, sim in enumerate(sims):
+        sinks = [s for s in sinks_of(d) if s is not None]
+        if len(sinks) == 1:
+            sim.set_profiler(sinks[0])
+        elif sinks:
+            sim.set_profiler(ProfilerFanout(*sinks))
+
+
+# ---------------------------------------------------------------------------
 # in-process executors
 # ---------------------------------------------------------------------------
 
@@ -336,6 +459,12 @@ def _advance_lockstep(sims: List[Simulator], until: int, digests) -> None:
         sim.now = time_
         sim._events_executed += 1
         fn(*args)
+        # the merged loop bypasses Simulator.run(), so any slot sink
+        # (telemetry profiler, isolation probe) gets fed here; lockstep
+        # digests stay explicit below and are never also in the slot
+        prof = sim._profiler
+        if prof is not None:
+            prof.note(fn, 0.0, len(heaps[best_d]))
         if digests is not None:
             clock.now = time_
             global_digest.note(fn, 0.0, 0)
@@ -392,6 +521,7 @@ def _advance_barrier(
 def _run_inprocess(
     scenario, mode: str, check_interval: int, wall_start: float,
     domain_of: Dict[int, int], lookahead: int, collect_digests: bool,
+    isolate: bool,
 ):
     from repro.experiments.runner import ScenarioResult
 
@@ -410,7 +540,43 @@ def _run_inprocess(
         PacketPool() if cfg.packet_pool else DISABLED_POOL
         for _ in range(shards)
     ]
-    _bind_domains(scenario, domain_of, sims, pools, channel)
+    tele_cfg = cfg.telemetry
+    hubs = None
+    if tele_cfg is not None:
+        # per-domain hub shards: samplers must read domain-local state
+        # only (a shared hub mid-window would mix domains at different
+        # times).  Runtime flow registrations fan out from the parent.
+        hubs = [scenario.stats.shard_clone() for _ in range(shards)]
+        scenario.stats.bind_shards(hubs)
+    _bind_domains(scenario, domain_of, sims, pools, channel, hubs=hubs)
+    _install_faults_sharded(scenario, sims[0])
+    recorders: list = []
+    if tele_cfg is not None:
+        recorders = _wire_shard_telemetry(
+            scenario, domain_of, sims, hubs, tele_cfg
+        )
+    sanitizer = None
+    if cfg.sanitize is not None:
+        from repro.simcheck.sanitizer import ShardedSanitizer
+
+        def _transit():
+            # barrier mailboxes hold deliveries no heap sees yet
+            for box in mailboxes:
+                for t, _lid, _seq, _ev, fn, args in box:
+                    yield t, fn, args
+
+        sanitizer = ShardedSanitizer(
+            scenario, sims, domain_of, pools, config=cfg.sanitize,
+            extra_pending=_transit if mode == "barrier" else None,
+        )
+        scenario.sanitizer = sanitizer
+    iso = None
+    if isolate:
+        from repro.simcheck.isolation import ShardIsolationSanitizer
+
+        iso = ShardIsolationSanitizer()
+        # after fault install, so link fault states carry owner tags
+        iso.tag_scenario(scenario, domain_of, pools)
     _schedule_flows_sharded(scenario)
     driver = scenario.rpc_driver
     if driver is not None:
@@ -430,9 +596,15 @@ def _run_inprocess(
                 domain_digests,
                 clock,
             )
-        else:
-            for d, s in enumerate(sims):
-                s.set_profiler(domain_digests[d])
+    _set_domain_profilers(
+        sims,
+        lambda d: (
+            # lockstep digests are fed explicitly by the merged loop
+            domain_digests[d] if domain_digests and mode != "lockstep" else None,
+            recorders[d].profiler if recorders else None,
+            iso.probe(d, sims[d]) if iso is not None else None,
+        ),
+    )
     topo = scenario.topology
     hard_end = int(cfg.duration * cfg.max_runtime_factor)
     now = 0
@@ -443,6 +615,11 @@ def _run_inprocess(
         else:
             _advance_barrier(sims, mailboxes, now, next_stop, lookahead)
         now = next_stop
+        if sanitizer is not None:
+            # barrier sweep: every domain has executed exactly the
+            # serial prefix up to `now`, so ledgers read the serial cut
+            sanitizer.sim.now = now
+            sanitizer.check_now()
         total = len(topo.flow_table)
         if topo.completed_flows >= total and (
             driver is None or driver.finished
@@ -456,20 +633,69 @@ def _run_inprocess(
             break
     total = len(topo.flow_table)
     topo.report_pause_times()
+    if scenario.watchdog is not None:
+        if topo.completed_flows < total:
+            scenario.watchdog.note_drained()
+        scenario.watchdog.stop()
     for ext in scenario.extensions:
         stop = getattr(ext, "stop", None)
         if stop is not None:
             stop()
-    scenario.stats.canonicalize()
+    for recorder in recorders:
+        recorder.stop()
+    violations: List[str] = []
+    if sanitizer is not None:
+        sanitizer.sim.now = now
+        sanitizer.final_check()
+        violations = list(sanitizer.violations)
+    stats = scenario.stats
+    if hubs is not None:
+        # deterministic domain-order merge back into the parent hub
+        for hub in hubs:
+            stats.merge_from(hub)
+    stats.canonicalize()
+    telemetry = None
+    if tele_cfg is not None:
+        from repro.telemetry.shard import (
+            build_shard_export, merge_raw_profiles, merge_raw_series,
+        )
+
+        ext_harvests = []
+        for ext in scenario.extensions:
+            harvest = getattr(ext, "telemetry_counters", None)
+            if harvest is not None:
+                ext_harvests.append(harvest())
+        rpc_counts = None
+        if driver is not None:
+            rpc_counts = (driver.requests_issued, driver.requests_completed)
+        telemetry = build_shard_export(
+            cfg,
+            tele_cfg,
+            now,
+            sum(s.events_executed for s in sims),
+            stats,
+            topo.completed_flows,
+            total,
+            sum(f.retransmitted_packets for f in topo.flow_table.values()),
+            rpc_counts,
+            ext_harvests,
+            merge_raw_series([r.raw_series() for r in recorders]),
+            merge_raw_profiles([r.raw_profile() for r in recorders]),
+        )
     result = ScenarioResult(
         config=cfg,
-        stats=scenario.stats,
+        stats=stats,
         scenario=scenario,
         completed_flows=topo.completed_flows,
         total_flows=total,
         sim_time=now,
         wall_seconds=_time.monotonic() - wall_start,  # simcheck: ignore[SIM002] -- wall time for reporting only
         events=sum(s.events_executed for s in sims),
+        telemetry=telemetry,
+        sanitizer_violations=violations,
+        shard_isolation_violations=(
+            list(iso.violations) if iso is not None else None
+        ),
     )
     if collect_digests:
         result.shard_digests = [d.hexdigest() for d in domain_digests]
@@ -494,13 +720,17 @@ def _drain_outbox(outbox: List[list]) -> List[Tuple[int, list]]:
 
 def _worker_main(
     scenario, domain_of: Dict[int, int], my_domain: int, conn,
-    collect_digest: bool,
+    collect_digest: bool, isolate: bool,
 ) -> None:
     """One forked worker: bind, then run exactly one domain to orders.
 
     The worker inherits the fully built scenario through fork, so the
     rebinding below produces the same object graph every in-process
-    executor sees; only ``sims[my_domain]`` ever runs here.
+    executor sees; only ``sims[my_domain]`` ever runs here.  The
+    worker's private ``scenario.stats`` copy *is* its domain hub —
+    every node keeps pointing at it, and only this domain's events
+    write to it, so the parent's domain-order ``merge_from`` pass
+    reassembles exactly the serial hub.
     """
     cfg = scenario.config
     shards = cfg.shards
@@ -511,14 +741,63 @@ def _worker_main(
     ]
     outbox: List[list] = [[] for _ in range(shards)]
     _bind_domains(scenario, domain_of, sims, pools, _WireChannel(outbox, domain_of))
-    _schedule_flows_sharded(scenario)
+    # the full plan installs on this worker's private copy: foreign
+    # links schedule onto sims that never run here, own-domain links
+    # replay exactly the serial subsequence (per-link name-derived rng
+    # streams make the draws identical everywhere)
+    plan = cfg.fault_plan
+    injector = None
+    if plan is not None and plan.faults:
+        from repro.faults.injector import FaultInjector
+
+        injector = FaultInjector(
+            scenario.sim, scenario.topology, plan, scenario.rng,
+            stats=scenario.stats,
+        )
+        injector.install()
+        scenario.fault_injector = injector
     dsim = sims[my_domain]
+    tele_cfg = cfg.telemetry
+    recorder = None
+    if tele_cfg is not None:
+        from repro.telemetry.shard import DomainTelemetry
+
+        topo_ = scenario.topology
+        recorder = DomainTelemetry(
+            my_domain, dsim, tele_cfg, scenario.stats,
+            [h for h in topo_.hosts if domain_of[h.node_id] == my_domain],
+            [s for s in topo_.switches if domain_of[s.node_id] == my_domain],
+        )
+        recorder.start()
+    sanitizer = None
+    if cfg.sanitize is not None:
+        from repro.simcheck.sanitizer import ShardedSanitizer
+
+        sanitizer = ShardedSanitizer(
+            scenario, sims, domain_of, pools, config=cfg.sanitize,
+            my_domain=my_domain,
+        )
+        scenario.sanitizer = sanitizer
+    iso = None
+    if isolate:
+        from repro.simcheck.isolation import ShardIsolationSanitizer
+
+        iso = ShardIsolationSanitizer()
+        iso.tag_scenario(scenario, domain_of, pools)
+    _schedule_flows_sharded(scenario)
     digest = None
     if collect_digest:
         from repro.simcheck.determinism import EventStreamDigest
 
         digest = EventStreamDigest(dsim, include_depth=False)
-        dsim.set_profiler(digest)
+    _set_domain_profilers(
+        [dsim],
+        lambda _d: (
+            digest,
+            recorder.profiler if recorder is not None else None,
+            iso.probe(my_domain, dsim) if iso is not None else None,
+        ),
+    )
     topo = scenario.topology
     nodes_by_id = {h.node_id: h for h in topo.hosts}
     nodes_by_id.update({s.node_id: s for s in topo.switches})
@@ -530,7 +809,7 @@ def _worker_main(
         msg = conn.recv()
         op = msg[0]
         if op == "run":
-            _op, h_next, incoming = msg
+            _op, h_next, incoming, sweep = msg
             heap = dsim._heap
             for t, lid, seq, node_id, port, pkt in incoming:
                 heappush(
@@ -539,6 +818,11 @@ def _worker_main(
                      (pkt, port)),
                 )
             dsim.run(until=h_next)
+            if sweep and sanitizer is not None:
+                # h_next is a check_interval boundary: this domain has
+                # executed exactly the serial prefix of its events
+                sanitizer.sim.now = h_next
+                sanitizer.check_now()
             conn.send(
                 ("state", dsim.peek_next_time(), topo.completed_flows,
                  _drain_outbox(outbox))
@@ -551,6 +835,7 @@ def _worker_main(
             dsim.now = final_now
         max_voqs = 0
         retrans = 0
+        ext_harvests: List[Dict[str, int]] = []
         for node in topo.hosts + topo.switches:
             if domain_of[node.node_id] != my_domain:
                 continue
@@ -563,12 +848,43 @@ def _worker_main(
                 pool = getattr(ext, "pool", None)
                 if pool is not None and pool.max_in_use > max_voqs:
                     max_voqs = pool.max_in_use
+                if tele_cfg is not None:
+                    harvest = getattr(ext, "telemetry_counters", None)
+                    if harvest is not None:
+                        ext_harvests.append(harvest())
         for flow in topo.flow_table.values():
             retrans += flow.retransmitted_packets
+        if recorder is not None:
+            recorder.stop()
+        sanitizer_payload = None
+        if sanitizer is not None:
+            sanitizer.sim.now = final_now
+            sanitizer.final_check()
+            sanitizer_payload = {
+                "violations": list(sanitizer.violations),
+                "ledger": sanitizer.domain_ledger(my_domain),
+                "checks_run": sanitizer.checks_run,
+            }
+        extras = {
+            "flows_total": len(topo.flow_table),
+            "ext_harvests": ext_harvests,
+            "telemetry_series": (
+                recorder.raw_series() if recorder is not None else None
+            ),
+            "telemetry_profile": (
+                recorder.raw_profile() if recorder is not None else None
+            ),
+            "fault_summary": (
+                injector.summary() if injector is not None else None
+            ),
+            "sanitizer": sanitizer_payload,
+            "isolation": list(iso.violations) if iso is not None else None,
+        }
         conn.send(
             ("result", scenario.stats, topo.completed_flows,
              dsim.events_executed, max_voqs, retrans,
-             digest.hexdigest() if digest is not None else None)
+             digest.hexdigest() if digest is not None else None,
+             extras)
         )
         conn.close()
         return
@@ -577,6 +893,7 @@ def _worker_main(
 def _run_process(
     scenario, check_interval: int, wall_start: float,
     domain_of: Dict[int, int], lookahead: int, collect_digests: bool,
+    isolate: bool,
 ):
     import multiprocessing
 
@@ -592,7 +909,8 @@ def _run_process(
         parent_conn, child_conn = ctx.Pipe()
         proc = ctx.Process(
             target=_worker_main,
-            args=(scenario, domain_of, d, child_conn, collect_digests),
+            args=(scenario, domain_of, d, child_conn, collect_digests,
+                  isolate),
             daemon=True,
         )
         proc.start()
@@ -633,8 +951,11 @@ def _run_process(
                     h_next = min(
                         next_stop, max(H + lookahead, min_next - 1 + lookahead)
                     )
+                # the last window of each step lands exactly on the
+                # check_interval boundary: tell workers to sweep there
+                sweep = h_next == next_stop and cfg.sanitize is not None
                 for d in range(shards):
-                    pipes[d].send(("run", h_next, pending[d]))
+                    pipes[d].send(("run", h_next, pending[d], sweep))
                     pending[d] = []
                 states = [pipes[d].recv() for d in range(shards)]
                 next_times = [st[1] for st in states]
@@ -665,12 +986,14 @@ def _run_process(
     # every worker inherited too, so the union-style merges dedup them
     stats = scenario.stats
     digests: List[str] = []
+    extras_list: List[dict] = []
     events = 0
     completed_total = 0
     max_voqs = 0
     retrans = 0
     for res in results:
-        _tag, worker_stats, worker_completed, worker_events, voqs, rtx, dig = res
+        (_tag, worker_stats, worker_completed, worker_events, voqs, rtx,
+         dig, extras) = res
         stats.merge_from(worker_stats)
         completed_total += worker_completed
         events += worker_events
@@ -679,7 +1002,77 @@ def _run_process(
         retrans += rtx
         if dig is not None:
             digests.append(dig)
+        extras_list.append(extras)
     stats.canonicalize()
+    # fault counters: the static plan shape is identical in every
+    # worker; the injection counters are disjoint partials (each link's
+    # events ran in exactly one worker), so they sum
+    fault_summary = None
+    worker_faults = [ex["fault_summary"] for ex in extras_list]
+    if any(f is not None for f in worker_faults):
+        live = [f for f in worker_faults if f is not None]
+        fault_summary = dict(live[0])
+        for f in live[1:]:
+            for key in (
+                "injected_drops_data", "injected_drops_ctrl",
+                "injected_corruptions",
+            ):
+                fault_summary[key] += f[key]
+    # sanitizer: per-domain sweeps already ran in the workers; the
+    # whole-fabric conservation equations are judged here, over the
+    # summed final ledgers plus packets still in transit boxes
+    violations: List[str] = []
+    if cfg.sanitize is not None:
+        from repro.simcheck.sanitizer import conservation_violations
+
+        ledgers = []
+        for ex in extras_list:
+            payload = ex["sanitizer"]
+            if payload is not None:
+                violations.extend(payload["violations"])
+                ledgers.append(payload["ledger"])
+        extra_data = extra_credit = 0
+        for box in pending:
+            for item in box:
+                pkt = item[5]
+                if pkt.kind == PacketKind.DATA:
+                    extra_data += 1
+                elif pkt.kind == PacketKind.CREDIT:
+                    extra_credit += 1
+        for message in conservation_violations(
+            ledgers, extra_data, extra_credit
+        ):
+            violations.append(f"t={now}ns: {message}")
+    iso_violations = None
+    if isolate:
+        iso_violations = [
+            v for ex in extras_list for v in (ex["isolation"] or [])
+        ]
+    telemetry = None
+    tele_cfg = cfg.telemetry
+    if tele_cfg is not None:
+        from repro.telemetry.shard import (
+            build_shard_export, merge_raw_profiles, merge_raw_series,
+        )
+
+        telemetry = build_shard_export(
+            cfg,
+            tele_cfg,
+            now,
+            events,
+            stats,
+            completed_total,
+            len(scenario.flows),
+            retrans,
+            None,  # rpc never runs under process mode
+            [h for ex in extras_list for h in ex["ext_harvests"]],
+            merge_raw_series(
+                [ex["telemetry_series"] or [] for ex in extras_list]
+            ),
+            merge_raw_profiles(
+                [ex["telemetry_profile"] for ex in extras_list]
+            ),
+        )
     result = ScenarioResult(
         config=cfg,
         stats=stats,
@@ -689,8 +1082,12 @@ def _run_process(
         sim_time=now,
         wall_seconds=_time.monotonic() - wall_start,  # simcheck: ignore[SIM002] -- wall time for reporting only
         events=events,
+        telemetry=telemetry,
+        sanitizer_violations=violations,
         shard_max_voqs=max_voqs,
         shard_retransmitted=retrans,
+        shard_fault_summary=fault_summary,
+        shard_isolation_violations=iso_violations,
     )
     if collect_digests:
         result.shard_digests = digests
@@ -721,6 +1118,7 @@ def run_sharded_scenario(
     check_interval: int,
     wall_start: float,
     collect_digests: bool = False,
+    isolate: bool = False,
 ):
     """Run a built scenario across ``config.shards`` domains.
 
@@ -729,18 +1127,32 @@ def run_sharded_scenario(
     ``check_interval`` steps and stops at the first step boundary where
     every flow has completed (and any rpc driver is finished), the hard
     end is reached, or every domain has drained.
+
+    ``isolate`` arms the :class:`ShardIsolationSanitizer`: hot objects
+    are tagged with their owning domain at partition time and every
+    executed callback is checked against the domain it ran under
+    (``check --sharded --isolate``).
     """
     cfg = scenario.config
     mode = resolve_mode(cfg)
     _assert_clean_build(scenario)
     domain_of = partition_nodes(scenario, cfg.shards)
     lookahead = boundary_lookahead(scenario.topology, domain_of)
+    _validate_fault_plan(scenario, domain_of)
     if mode == "process":
+        plan = cfg.fault_plan
+        if plan is not None and plan.stall_window > 0:
+            raise ValueError(
+                "stall_window under shard_mode='process' is unsupported: "
+                "the watchdog needs whole-fabric progress visibility in "
+                "one address space; use shard_mode='barrier' or "
+                "'lockstep' (or stall_window=0)"
+            )
         return _run_process(
             scenario, check_interval, wall_start, domain_of, lookahead,
-            collect_digests,
+            collect_digests, isolate,
         )
     return _run_inprocess(
         scenario, mode, check_interval, wall_start, domain_of, lookahead,
-        collect_digests,
+        collect_digests, isolate,
     )

@@ -72,6 +72,12 @@ class EventStreamDigest:
         self.wall_seconds = 0.0
 
     def note(self, fn, dt: float, heap_depth: int) -> None:
+        # observer ticks (telemetry samplers, sanitizer sweeps, stall
+        # watchdogs) read state without mutating it; a sharded run
+        # observes per domain where a serial run observes once, so they
+        # are excluded from the stream identity entirely
+        if getattr(getattr(fn, "__self__", None), "observer", False):
+            return
         self.events += 1
         name = getattr(fn, "__qualname__", repr(fn))
         self._sha.update(
@@ -185,7 +191,8 @@ def check_packet_pool_equivalence(config) -> Dict[str, object]:
 
 
 def check_sharded_equivalence(
-    config, shards: int, check_interval: Optional[int] = None
+    config, shards: int, check_interval: Optional[int] = None,
+    isolate: bool = False,
 ) -> Dict[str, object]:
     """Sharded execution must replay the serial run byte-for-byte.
 
@@ -203,8 +210,16 @@ def check_sharded_equivalence(
       lockstep — per-domain order is independent of how domains
       interleave;
     * every executor's :class:`ResultSummary` must serialize to the
-      same bytes as the serial one (configs normalized to
-      ``shards=1``, the only field that legitimately differs).
+      same bytes as the serial one.  Normalized before comparison:
+      ``shards``/``shard_mode`` (the knobs under test), total event
+      counts and the telemetry engine profile (observer ticks run once
+      per domain and heaps are per-domain, so those are executor
+      properties, not simulation results — the digests already pin the
+      simulation event set).  Fault counters, telemetry series,
+      histograms, and end-of-run counters all stay in the comparison.
+
+    ``isolate`` additionally arms the isolation sanitizer on every
+    sharded executor and requires zero cross-domain mutations.
 
     Closed-loop rpc configs skip process mode (the driver needs one
     address space; ``shard_mode="auto"`` resolves them to barrier).
@@ -222,9 +237,16 @@ def check_sharded_equivalence(
 
     def norm_bytes(result) -> bytes:
         summary = summarize(result)
+        telemetry = summary.telemetry
+        if telemetry is not None:
+            meta = dict(telemetry.meta)
+            meta["events"] = 0
+            telemetry = dc_replace(telemetry, meta=meta, profile=None)
         summary = dc_replace(
             summary,
             config=dc_replace(summary.config, shards=1, shard_mode="auto"),
+            events=0,
+            telemetry=telemetry,
         )
         return summary.canonical_bytes()
 
@@ -250,6 +272,7 @@ def check_sharded_equivalence(
             check_interval=interval,
             wall_start=_time.monotonic(),  # simcheck: ignore[SIM002] -- wall time for reporting only
             collect_digests=True,
+            isolate=isolate,
         )
         summary_ok = norm_bytes(result) == serial_bytes
         if mode == "lockstep":
@@ -257,15 +280,38 @@ def check_sharded_equivalence(
             stream_ok = result.shard_global_digest == serial_digest.hexdigest()
         else:
             stream_ok = result.shard_digests == domain_reference
-        mode_ok = summary_ok and stream_ok
+        iso_violations = result.shard_isolation_violations or []
+        mode_ok = summary_ok and stream_ok and not iso_violations
         report["modes"][mode] = {
             "events_identical": stream_ok,
             "summary_identical": summary_ok,
             "domain_digests": result.shard_digests,
+            "isolation_violations": iso_violations,
             "ok": mode_ok,
         }
         report["ok"] = report["ok"] and mode_ok
     return report
+
+
+def sharded_battery_fault_plan():
+    """The fault plan the sharded battery runs under.
+
+    A lossy window on the host-ToR links: hosts always share their
+    ToR's domain, so every matched link is intra-domain under any shard
+    count — the only fault placement the sharded engine accepts — and
+    both data and control losses exercise retransmission and the
+    injected-drop counters whose serial/sharded equality the battery
+    asserts.
+    """
+    from repro.faults.plan import RandomLoss, plan_of
+    from repro.units import us
+
+    return plan_of(
+        RandomLoss(
+            start=us(20), link="host-switch", duration=us(100),
+            data_rate=0.02, ctrl_rate=0.01,
+        )
+    )
 
 
 def run_sharded_suite(
@@ -273,14 +319,23 @@ def run_sharded_suite(
     schemes: Optional[List[str]] = None,
     shards: Tuple[int, ...] = (2, 4),
     scenarios: Tuple[str, ...] = ("quick", "incast256"),
+    faults: bool = True,
+    telemetry: bool = True,
+    isolate: bool = False,
 ) -> Dict[str, object]:
     """The battery behind ``repro.cli check --sharded``.
 
     For every (scenario, scheme, shard count): serial vs lockstep vs
     barrier vs process, asserting byte-identical event streams and
-    result summaries (:func:`check_sharded_equivalence`).  Scenarios
-    come from the declarative registry; multi-config entries use their
-    first config (the sweep variants only scale the same machinery).
+    result summaries (:func:`check_sharded_equivalence`).  By default
+    every case runs with a fault plan active *and* telemetry export
+    enabled, so the comparison also covers domain-local fault
+    application (identical injected-drop counters) and the per-domain
+    telemetry merge (identical series, histograms, and counters).
+    ``isolate`` arms the isolation sanitizer on the sharded runs.
+    Scenarios come from the declarative registry; multi-config entries
+    use their first config (the sweep variants only scale the same
+    machinery).
     """
     from dataclasses import replace as dc_replace
 
@@ -296,13 +351,23 @@ def run_sharded_suite(
         selected = {name: wanted[name] for name in schemes}
     else:
         selected = wanted
+    overrides: Dict[str, object] = {}
+    if faults:
+        overrides["fault_plan"] = sharded_battery_fault_plan()
+    if telemetry:
+        # the engine profile is the one surface that is deliberately
+        # not serial-identical (per-domain observer ticks and heaps);
+        # everything else in the export must match byte-for-byte
+        from repro.telemetry.registry import TelemetryConfig
+
+        overrides["telemetry"] = TelemetryConfig(engine_profile=False)
     report: Dict[str, object] = {"cases": {}, "ok": True}
     for scenario_name in scenarios:
         base = registry.get(scenario_name).configs[0]
         for scheme, fc in selected.items():
-            cfg = dc_replace(base, flow_control=fc, seed=seed)
+            cfg = dc_replace(base, flow_control=fc, seed=seed, **overrides)
             for n in shards:
-                rep = check_sharded_equivalence(cfg, n)
+                rep = check_sharded_equivalence(cfg, n, isolate=isolate)
                 key = f"{scenario_name}/{scheme}/x{n}"
                 report["cases"][key] = rep
                 report["ok"] = report["ok"] and bool(rep["ok"])

@@ -26,6 +26,35 @@ SIM004
     platform- and rounding-dependent.  Wrap in ``int(...)`` or
     ``round(...)``.
 
+The shard-safety rules keep domain-executed code safe to run under the
+conservative-parallel engine (``repro.sim.sharded``); ownership
+classification comes from :mod:`repro.simcheck.ownership` and the
+runtime complement is :mod:`repro.simcheck.isolation`:
+
+SIM005
+    Writes through another domain's topology handle (``port.peer``,
+    ``link.dst_port``, a local bound from ``switch.peer(i)``/
+    ``link.peer_of(node)``) outside the boundary-tuple exchange in
+    ``sim/sharded.py``.  Foreign objects may be read (schemes inspect
+    ``peer.level``); mutating them races with the owning domain.
+SIM006
+    Module-level or class-level mutable containers in packages
+    imported by both the sharded workers and per-domain code.  A
+    global registry or class-level cache written at runtime is shared
+    across domains with no merge path; freeze it, or allowlist it with
+    a justification that it is populated at import time only.
+SIM007
+    ``schedule*`` calls registering a callback (or argument) derived
+    from a foreign handle on the local engine — domain 0's engine
+    executing a method bound to domain 1's object is exactly the race
+    the runtime :class:`~repro.simcheck.isolation.ShardIsolationSanitizer`
+    traps under ``check --sharded --isolate``.
+SIM008
+    Accumulation into a module-global collector (``X[...] += ...``,
+    ``X.append(...)``) from simulation code.  Per-domain stats must
+    land in domain-owned shards and merge deterministically at
+    barriers; a process-global singleton silently loses worker writes.
+
 Suppression: append ``# simcheck: ignore[SIM00X] -- reason`` to the
 flagged line, or add a ``RULE path-glob -- justification`` line to the
 repo-root ``simcheck-allowlist.txt``.
@@ -35,7 +64,16 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass
-from typing import Iterable, List
+from typing import FrozenSet, Iterable, List, Set
+
+from repro.simcheck.ownership import (
+    MUTATING_METHODS,
+    SHARDED_RELPATH,
+    _is_foreign_expr,
+    boundary_contexts,
+    describe,
+    foreign_locals,
+)
 
 #: rule id -> one-line description (shown by ``repro.cli check --rules``)
 RULES = {
@@ -55,6 +93,22 @@ RULES = {
     "SIM004": (
         "float-valued delay/timestamp passed to Engine.schedule* "
         "(the clock is integer ns; wrap in int()/round())"
+    ),
+    "SIM005": (
+        "write through another domain's topology handle "
+        "(peer/node_a/dst_port/...) outside the sharded boundary exchange"
+    ),
+    "SIM006": (
+        "module/class-level mutable container shared by sharded workers "
+        "and per-domain code (global registry or cache without a merge path)"
+    ),
+    "SIM007": (
+        "schedule* registers a callback derived from a foreign-domain "
+        "handle on the local engine (cross-domain mutation at dispatch)"
+    ),
+    "SIM008": (
+        "accumulation into a module-global collector from simulation code "
+        "(per-domain stats need domain shards + deterministic merge)"
     ),
 }
 
@@ -100,6 +154,50 @@ SCHEDULE_METHODS = frozenset(
 _ORDER_PRESERVING_WRAPPERS = frozenset(
     {"list", "tuple", "iter", "set", "frozenset", "reversed", "enumerate"}
 )
+
+#: constructors whose result is a mutable container (SIM006)
+_MUTABLE_CONTAINER_CALLS = frozenset(
+    {"dict", "list", "set", "defaultdict", "deque", "Counter", "OrderedDict"}
+)
+
+
+def _is_mutable_container(value: ast.expr) -> bool:
+    """Does this module/class-level value build a mutable container?
+
+    Display literals and container constructors count; comprehensions
+    do not — a comprehension at module scope is a derived constant,
+    not a registry that runtime code appends into.
+    """
+    if isinstance(value, (ast.Dict, ast.List, ast.Set)):
+        return True
+    if isinstance(value, ast.Call):
+        func = value.func
+        name = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr if isinstance(func, ast.Attribute) else None
+        )
+        return name in _MUTABLE_CONTAINER_CALLS
+    return False
+
+
+def _assign_name(target: ast.expr) -> str | None:
+    return target.id if isinstance(target, ast.Name) else None
+
+
+def _root_name(node: ast.expr) -> str | None:
+    """Leftmost Name of an attribute/subscript/call chain, if any."""
+    while True:
+        if isinstance(node, ast.Attribute):
+            node = node.value
+        elif isinstance(node, ast.Subscript):
+            node = node.value
+        elif isinstance(node, ast.Call):
+            node = node.func
+        elif isinstance(node, ast.Name):
+            return node.id
+        else:
+            return None
 
 
 @dataclass(frozen=True)
@@ -172,15 +270,137 @@ def _is_floatish(node: ast.expr) -> bool:
 class _RuleVisitor(ast.NodeVisitor):
     """Single-pass visitor producing raw findings for the enabled rules."""
 
-    def __init__(self, relpath: str, enabled: frozenset) -> None:
+    def __init__(
+        self,
+        relpath: str,
+        enabled: frozenset,
+        boundary: FrozenSet[str] = frozenset(),
+    ) -> None:
         self.relpath = relpath
         self.enabled = enabled
+        #: boundary-exchange scope names (non-empty only for sharded.py)
+        self.boundary = boundary
         self.findings: List[Finding] = []
+        self._scopes: List[str] = []
+        self._func_depth = 0
+        #: foreign-derived locals of the innermost function (SIM005/7)
+        self._env: FrozenSet[str] = frozenset()
+        #: module-level names bound to mutable containers (SIM006/8)
+        self._module_globals: Set[str] = set()
 
     def _add(self, rule: str, node: ast.AST, message: str) -> None:
         self.findings.append(
             Finding(rule, self.relpath, node.lineno, node.col_offset, message)
         )
+
+    def _in_boundary(self) -> bool:
+        return any(name in self.boundary for name in self._scopes)
+
+    # -- scope bookkeeping + SIM006 definitions ---------------------------
+    def visit_Module(self, node: ast.Module) -> None:
+        for stmt in node.body:
+            targets, value = [], None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            if value is None or not _is_mutable_container(value):
+                continue
+            for target in targets:
+                name = _assign_name(target)
+                if name is None or name.startswith("__"):
+                    continue  # __all__ and friends: interpreter protocol
+                self._module_globals.add(name)
+                if "SIM006" in self.enabled:
+                    self._add(
+                        "SIM006",
+                        stmt,
+                        f"module-level mutable container `{name}` is shared "
+                        "by sharded workers and per-domain code; freeze it "
+                        "or justify (import-time-only) in the allowlist",
+                    )
+        self.generic_visit(node)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if "SIM006" in self.enabled and self._func_depth == 0:
+            for stmt in node.body:
+                targets, value = [], None
+                if isinstance(stmt, ast.Assign):
+                    targets, value = stmt.targets, stmt.value
+                elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                    targets, value = [stmt.target], stmt.value
+                if value is None or not _is_mutable_container(value):
+                    continue
+                for target in targets:
+                    name = _assign_name(target)
+                    if name is not None:
+                        self._add(
+                            "SIM006",
+                            stmt,
+                            f"class-level mutable cache `{node.name}.{name}` "
+                            "is shared across domains; make it per-instance "
+                            "or per-domain",
+                        )
+        self._scopes.append(node.name)
+        self.generic_visit(node)
+        self._scopes.pop()
+
+    def _visit_function(self, node) -> None:
+        prev_env = self._env
+        if self.enabled & {"SIM005", "SIM007"}:
+            self._env = foreign_locals(node)
+        self._scopes.append(node.name)
+        self._func_depth += 1
+        self.generic_visit(node)
+        self._func_depth -= 1
+        self._scopes.pop()
+        self._env = prev_env
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    # -- SIM005 / SIM008: attribute & subscript stores --------------------
+    def _check_store(self, node: ast.AST, target: ast.expr) -> None:
+        if self._func_depth == 0:
+            return
+        if (
+            "SIM005" in self.enabled
+            and isinstance(target, (ast.Attribute, ast.Subscript))
+            and not self._in_boundary()
+        ):
+            inner = (
+                target.value
+                if isinstance(target, (ast.Attribute, ast.Subscript))
+                else target
+            )
+            if _is_foreign_expr(inner, self._env):
+                self._add(
+                    "SIM005",
+                    target,
+                    f"write to `{describe(target)}` reaches another "
+                    "domain's object through a foreign handle; only the "
+                    "owning domain may mutate it",
+                )
+        if "SIM008" in self.enabled and isinstance(
+            target, (ast.Attribute, ast.Subscript)
+        ):
+            root = _root_name(target)
+            if root is not None and root in self._module_globals:
+                self._add(
+                    "SIM008",
+                    target,
+                    f"accumulates into module-global `{root}`; route stats "
+                    "through a domain-owned collector with a merge path",
+                )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_store(node, target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_store(node, node.target)
+        self.generic_visit(node)
 
     # -- SIM001 / SIM002: imports that smuggle the primitives in ---------
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
@@ -223,6 +443,49 @@ class _RuleVisitor(ast.NodeVisitor):
                         node,
                         f"float-valued time passed to .{func.attr}(); "
                         "the clock is integer ns — wrap in int()/round()",
+                    )
+        if self._func_depth > 0 and isinstance(func, ast.Attribute):
+            if (
+                "SIM005" in self.enabled
+                and func.attr in MUTATING_METHODS
+                and not self._in_boundary()
+                and _is_foreign_expr(func.value, self._env)
+            ):
+                self._add(
+                    "SIM005",
+                    node,
+                    f"`{describe(func)}(...)` mutates an object reached "
+                    "through a foreign-domain handle; only the owning "
+                    "domain may mutate it",
+                )
+            if (
+                "SIM007" in self.enabled
+                and func.attr in SCHEDULE_METHODS
+                and not self._in_boundary()
+            ):
+                for arg in (*node.args[1:], *(kw.value for kw in node.keywords)):
+                    if _is_foreign_expr(arg, self._env):
+                        self._add(
+                            "SIM007",
+                            node,
+                            f".{func.attr}() registers "
+                            f"`{describe(arg)}` — a callback/argument "
+                            "derived from a foreign-domain handle — on the "
+                            "local engine",
+                        )
+                        break
+            if (
+                "SIM008" in self.enabled
+                and func.attr in MUTATING_METHODS
+            ):
+                root = _root_name(func.value)
+                if root is not None and root in self._module_globals:
+                    self._add(
+                        "SIM008",
+                        node,
+                        f"`{describe(func)}(...)` accumulates into "
+                        f"module-global `{root}`; route stats through a "
+                        "domain-owned collector with a merge path",
                     )
         self.generic_visit(node)
 
@@ -299,7 +562,12 @@ def scan_source(
                 f"syntax error: {exc.msg}",
             )
         ]
-    visitor = _RuleVisitor(relpath, enabled)
+    # sharded.py's channel classes / partition / flush helpers ARE the
+    # boundary-tuple exchange: cross-domain access there is the design
+    boundary = (
+        boundary_contexts(tree) if relpath == SHARDED_RELPATH else frozenset()
+    )
+    visitor = _RuleVisitor(relpath, enabled, boundary)
     visitor.visit(tree)
     visitor.findings.sort(key=lambda f: (f.line, f.col, f.rule))
     return visitor.findings

@@ -118,18 +118,39 @@ class StatsHub:
         self.fct_histogram = None
         self.queuing_histogram = None
         self.rpc_histogram = None
+        # --- sharded execution (repro.sim.sharded) ---------------------------
+        #: per-domain child hubs; runtime flow registrations fan out so
+        #: every domain classifies packets the way a serial run would
+        self._shard_children: List["StatsHub"] = []
 
     # -- flow classes ---------------------------------------------------------------
+
+    def bind_shards(self, hubs: List["StatsHub"]) -> None:
+        """Attach per-domain child hubs (the SIM008 merge path).
+
+        A sharded run records into one hub per domain, but runtime flow
+        classification (the RPC driver registering incast responses as
+        they are issued) arrives at the parent hub.  Binding the
+        children makes ``register_incast_flow`` / ``register_flow_class``
+        propagate, so a switch in any domain classifies queueing samples
+        exactly as the serial hub would.  Merge stays correct because
+        propagation only writes identical values into every child.
+        """
+        self._shard_children = list(hubs)
 
     def register_incast_flow(self, flow_id: int) -> None:
         """Mark ``flow_id`` as belonging to incast traffic."""
         self._incast_flows.add(flow_id)
         self.flow_class[flow_id] = FlowClass.INCAST
+        for child in self._shard_children:
+            child.register_incast_flow(flow_id)
 
     def register_flow_class(self, flow_id: int, cls: FlowClass) -> None:
         self.flow_class[flow_id] = cls
         if cls is FlowClass.INCAST:
             self._incast_flows.add(flow_id)
+        for child in self._shard_children:
+            child.register_flow_class(flow_id, cls)
 
     def is_incast_flow(self, flow_id: int) -> bool:
         return flow_id in self._incast_flows
@@ -286,6 +307,33 @@ class StatsHub:
         # rebuilding from sorted insertion gives the set a
         # content-determined hash-table layout, hence a stable pickle
         self._incast_flows = set(sorted(self._incast_flows))
+        # shard children are runtime plumbing: dropping them keeps the
+        # pickled hub identical to a serial run's (which never had any)
+        self._shard_children = []
+        # bin-dict insertion order reflects observation order (and, on
+        # merged hubs, domain merge order); sort it away like the rest
+        for hist in (
+            self.fct_histogram,
+            self.queuing_histogram,
+            self.rpc_histogram,
+        ):
+            if hist is not None:
+                hist.counts = dict(sorted(hist.counts.items()))
+
+    def shard_clone(self) -> "StatsHub":
+        """A fresh hub carrying only build-time registrations.
+
+        The sharded executors give every domain its own hub so the hot
+        recording path never touches state another domain also writes;
+        the clone copies what was registered at *build* time — flow
+        classes (a flow's packets can terminate in any domain) and
+        config-derived flags — and none of the measurements.
+        """
+        clone = StatsHub()
+        clone.flow_class = dict(self.flow_class)
+        clone._incast_flows = set(self._incast_flows)
+        clone.track_bandwidth = self.track_bandwidth
+        return clone
 
     def merge_from(self, other: "StatsHub") -> None:
         """Fold another hub's measurements into this one.
@@ -294,18 +342,20 @@ class StatsHub:
         domains observe disjoint devices, so per-switch/per-port maxima
         never collide, record lists concatenate, and counters add.
         Call :meth:`canonicalize` afterwards to restore a canonical
-        layout.  Telemetry histograms are per-run wiring and must not
-        be installed on merged hubs.
+        layout.  Telemetry histograms merge when the other hub carries
+        them (per-domain recorders install independent instances;
+        power-of-two bins make the merge exact): absent here, the
+        other's is adopted, present in both, bin counts add.
         """
-        if (
-            self.fct_histogram is not None
-            or other.fct_histogram is not None
-            or self.queuing_histogram is not None
-            or other.queuing_histogram is not None
-            or self.rpc_histogram is not None
-            or other.rpc_histogram is not None
-        ):
-            raise ValueError("cannot merge hubs with telemetry histograms")
+        for attr in ("fct_histogram", "queuing_histogram", "rpc_histogram"):
+            theirs = getattr(other, attr)
+            if theirs is None:
+                continue
+            mine = getattr(self, attr)
+            if mine is None:
+                setattr(self, attr, theirs)
+            else:
+                mine.merge_from(theirs)
         self.fct_records.extend(other.fct_records)
         self.rpc_records.extend(other.rpc_records)
         self.flow_class.update(other.flow_class)

@@ -27,6 +27,46 @@ def callback_name(fn: Callable[..., Any]) -> str:
     return name if name is not None else type(fn).__name__
 
 
+class ProfilerFanout:
+    """Fan one engine profiler slot out to several sinks.
+
+    A :class:`~repro.sim.engine.Simulator` has a single profiler slot,
+    but a sharded run can need up to three listeners on it at once: the
+    per-domain :class:`~repro.simcheck.determinism.EventStreamDigest`,
+    the per-domain :class:`EngineProfiler`, and the isolation probe of
+    :class:`~repro.simcheck.isolation.ShardIsolationSanitizer`.  Every
+    sink sees the exact same ``note`` calls in the same order.
+    """
+
+    __slots__ = ("sinks", "_wall_sink", "_wall_local")
+
+    def __init__(self, *sinks: Any) -> None:
+        self.sinks = tuple(s for s in sinks if s is not None)
+        # the engine charges run-loop wall time to `profiler.wall_seconds`;
+        # route it to the sink that reports it (the EngineProfiler)
+        self._wall_sink = next(
+            (s for s in self.sinks if hasattr(s, "wall_seconds")), None
+        )
+        self._wall_local = 0.0
+
+    @property
+    def wall_seconds(self) -> float:
+        if self._wall_sink is not None:
+            return self._wall_sink.wall_seconds
+        return self._wall_local
+
+    @wall_seconds.setter
+    def wall_seconds(self, value: float) -> None:
+        if self._wall_sink is not None:
+            self._wall_sink.wall_seconds = value
+        else:
+            self._wall_local = value
+
+    def note(self, fn: Callable[..., Any], dt: float, heap_depth: int) -> None:
+        for sink in self.sinks:
+            sink.note(fn, dt, heap_depth)
+
+
 class EngineProfiler:
     """Accumulates per-callback-type counts and times."""
 

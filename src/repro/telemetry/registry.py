@@ -107,6 +107,24 @@ class Histogram:
         if self.max is None or value > self.max:
             self.max = value
 
+    def merge_from(self, other: "Histogram") -> None:
+        """Fold another histogram's observations into this one.
+
+        Power-of-two bins make the merge exact: a value lands in the
+        same bin no matter which domain observed it, so summing bin
+        counts reproduces the histogram a single observer would have
+        built.  Used by the sharded executors to combine per-domain
+        telemetry (:meth:`repro.stats.collector.StatsHub.merge_from`).
+        """
+        for idx, count in other.counts.items():
+            self.counts[idx] = self.counts.get(idx, 0) + count
+        self.total += other.total
+        self.sum += other.sum
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+
     def bins(self) -> List[Tuple[int, int]]:
         """Sorted ``(upper_edge, count)`` pairs for the touched bins."""
         return [(1 << i if i else 1, c) for i, c in sorted(self.counts.items())]

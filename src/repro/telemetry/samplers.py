@@ -43,7 +43,7 @@ class PeriodicSampler:
         self.samples: Dict[str, List[Tuple[int, float]]] = {
             name: [] for name in sources
         }
-        self._task = PeriodicTask(sim, interval, self._sample)
+        self._task = PeriodicTask(sim, interval, self._sample, observer=True)
 
     def start(self) -> None:
         self._task.start()

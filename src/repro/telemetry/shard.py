@@ -1,0 +1,393 @@
+"""Per-domain telemetry shards with a deterministic domain-order merge.
+
+The serial :class:`~repro.telemetry.recorder.TelemetryRecorder` reads
+whole-fabric surfaces (the shared :class:`StatsHub`, every host's rx
+gauge, every switch's buffer gauge).  Under the sharded engine those
+reads would cross domain boundaries — exactly the SIM008 pattern the
+shard-safety lints reject — so a sharded run wires one
+:class:`DomainTelemetry` per domain instead.  Each domain samples only
+state it owns (its hub shard, its hosts, its switches), recording *raw
+cumulative integers* rather than derived rates; the merge then
+reproduces, byte for byte, what the serial recorder would have
+exported:
+
+* rate series (``rx_gbps.*``): per-timestamp sums of the per-domain
+  integer cumulatives equal the serial counter reads (every domain
+  ticks at the same instants, and the conservative-window invariant
+  means each domain's tick observes exactly the serial cut of its own
+  state), so differentiating the summed series replays the serial
+  float arithmetic on identical integers;
+* gauge sums (``buffer_bytes.total``, counter series): per-timestamp
+  integer sums across domains;
+* single-owner gauges (``buffer_bytes.<switch>``): recorded by exactly
+  one domain and passed through verbatim.
+
+Histograms live on the per-domain hub shards and merge exactly
+(power-of-two bins); end-of-run counters re-run the serial harvest
+arithmetic on merged inputs (sums and maxima commute).  The engine
+profile is the one deliberately non-identical surface: a sharded run
+executes extra observer ticks and per-domain heaps have different
+depths, so the equivalence harness strips it before comparing.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
+
+from repro.stats.collector import FlowClass
+from repro.telemetry.export import TelemetryExport
+from repro.telemetry.profile import EngineProfiler
+from repro.telemetry.registry import TelemetryConfig, TelemetryRegistry
+from repro.telemetry.samplers import GaugeSampler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+    from repro.stats.collector import StatsHub
+
+#: merge rules for raw per-domain series
+KIND_RATE = "rate"  # per-timestamp int sum, then differentiate
+KIND_SUM = "sum"    # per-timestamp int sum
+KIND_ONE = "one"    # recorded by exactly one domain; pass through
+
+
+class _CumulativeSampler(GaugeSampler):
+    """Records raw monotone counter values for a post-run rate merge.
+
+    The serial :class:`RateSampler` differentiates at tick time; a
+    domain shard cannot (its counter is only one summand of the serial
+    value), so it records the raw cumulative and keeps the baseline the
+    serial sampler would have subtracted at ``start()``.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        sources: Dict[str, Callable[[], int]],
+        interval: int,
+        scale: float = 1.0,
+        unit: str = "",
+    ) -> None:
+        super().__init__(sim, sources, interval, unit)
+        self.scale = scale
+        self.baseline: Dict[str, int] = {name: 0 for name in sources}
+        self.start_time = 0
+
+    def start(self) -> None:
+        for name, fn in self.sources.items():
+            self.baseline[name] = fn()
+        self.start_time = self.sim.now
+        super().start()
+
+
+class DomainTelemetry:
+    """One domain's samplers, hub histograms, and engine profiler.
+
+    Mirrors the serial recorder's wiring order (throughput, buffers,
+    counters, histograms, profiler) restricted to the devices and hub
+    shard the domain owns, so per-domain event schedules stay a
+    restriction of the serial schedule.
+    """
+
+    def __init__(
+        self,
+        domain: int,
+        sim: "Simulator",
+        cfg: TelemetryConfig,
+        hub: "StatsHub",
+        hosts: list,
+        switches: list,
+    ) -> None:
+        self.domain = domain
+        self.cfg = cfg
+        #: (kind, sampler) in wiring order
+        self._samplers: List[Tuple[Dict[str, str], GaugeSampler]] = []
+
+        if cfg.throughput:
+            sources: Dict[str, Callable[[], int]] = {
+                f"rx_gbps.{cls.value}": (
+                    lambda s=hub, c=cls: s.rx_bytes_of_class(c)
+                )
+                for cls in FlowClass
+            }
+            host_rx = tuple(
+                h.telemetry_gauges()["rx_data_bytes"] for h in hosts
+            )
+            sources["rx_gbps.total"] = lambda fns=host_rx: sum(
+                f() for f in fns
+            )
+            kinds = {name: KIND_RATE for name in sources}
+            self._samplers.append(
+                (
+                    kinds,
+                    _CumulativeSampler(
+                        sim, sources, cfg.interval, scale=8.0, unit="gbps"
+                    ),
+                )
+            )
+
+        if cfg.buffers:
+            gauges: Dict[str, Callable[[], int]] = {}
+            kinds = {}
+            reads = []
+            for sw in switches:
+                fn = sw.telemetry_gauges()["buffer_bytes"]
+                gauges[f"buffer_bytes.{sw.name}"] = fn
+                kinds[f"buffer_bytes.{sw.name}"] = KIND_ONE
+                reads.append(fn)
+            gauges["buffer_bytes.total"] = lambda fns=tuple(reads): sum(
+                f() for f in fns
+            )
+            kinds["buffer_bytes.total"] = KIND_SUM
+            self._samplers.append(
+                (kinds, GaugeSampler(sim, gauges, cfg.interval, unit="bytes"))
+            )
+
+        if cfg.counters:
+            counter_sources = {
+                "pfc_pause_events": lambda s=hub: s.pfc_pause_events,
+                "packets_dropped": lambda s=hub: s.packets_dropped,
+            }
+            self._samplers.append(
+                (
+                    {name: KIND_SUM for name in counter_sources},
+                    GaugeSampler(sim, counter_sources, cfg.interval, unit="count"),
+                )
+            )
+
+        if cfg.histograms:
+            # fresh per-domain instances: the hot path records into the
+            # domain's own histogram, StatsHub.merge_from folds them
+            from repro.telemetry.registry import Histogram
+
+            hub.fct_histogram = Histogram("fct_ns", unit="ns")
+            hub.queuing_histogram = Histogram("queuing_ns", unit="ns")
+
+        self.profiler: Optional[EngineProfiler] = (
+            EngineProfiler() if cfg.engine_profile else None
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        for _, sampler in self._samplers:
+            sampler.start()
+
+    def stop(self) -> None:
+        for _, sampler in self._samplers:
+            sampler.stop()
+
+    # -- raw payload (picklable; crosses the process-mode pipe) --------------
+
+    def raw_series(self) -> List[Dict[str, Any]]:
+        out: List[Dict[str, Any]] = []
+        for kinds, sampler in self._samplers:
+            for name in sampler.samples:
+                out.append(
+                    {
+                        "kind": kinds[name],
+                        "name": name,
+                        "unit": sampler.unit,
+                        "scale": getattr(sampler, "scale", 1.0),
+                        "baseline": getattr(sampler, "baseline", {}).get(name, 0),
+                        "start_time": getattr(sampler, "start_time", 0),
+                        "points": sampler.samples[name],
+                    }
+                )
+        return out
+
+    def raw_profile(self) -> Optional[Dict[str, Any]]:
+        p = self.profiler
+        if p is None:
+            return None
+        return {
+            "events": p.events,
+            "max_heap_depth": p.max_heap_depth,
+            "counts": dict(p.counts),
+        }
+
+
+# ---------------------------------------------------------------------------
+# merging
+# ---------------------------------------------------------------------------
+
+
+def _check_aligned(name: str, columns: List[List[Tuple[int, int]]]) -> None:
+    times = [[t for t, _ in col] for col in columns]
+    if any(ts != times[0] for ts in times[1:]):
+        raise AssertionError(
+            f"telemetry shard misalignment on series {name!r}: domains "
+            "sampled at different instants (executor barrier bug)"
+        )
+
+
+def merge_raw_series(per_domain: List[List[Dict[str, Any]]]) -> List[Dict[str, Any]]:
+    """Merge per-domain raw series into serial-identical export series.
+
+    ``per_domain`` is indexed by domain; merge order is domain order,
+    but every rule here (sum, pass-through, differentiate-after-sum) is
+    order-independent, so the output is a function of content only.
+    """
+    by_name: Dict[str, List[Dict[str, Any]]] = {}
+    order: List[str] = []
+    for series_list in per_domain:
+        for rec in series_list:
+            if rec["name"] not in by_name:
+                by_name[rec["name"]] = []
+                order.append(rec["name"])
+            by_name[rec["name"]].append(rec)
+    out = []
+    for name in sorted(order):
+        recs = by_name[name]
+        kind = recs[0]["kind"]
+        unit = recs[0]["unit"]
+        if kind == KIND_ONE:
+            if len(recs) != 1:
+                raise AssertionError(
+                    f"single-owner series {name!r} recorded by "
+                    f"{len(recs)} domains"
+                )
+            points = [[t, v] for t, v in recs[0]["points"]]
+        elif kind == KIND_SUM:
+            cols = [rec["points"] for rec in recs]
+            _check_aligned(name, cols)
+            points = [
+                [cols[0][i][0], sum(col[i][1] for col in cols)]
+                for i in range(len(cols[0]))
+            ]
+        else:  # KIND_RATE: sum the cumulatives, then differentiate
+            cols = [rec["points"] for rec in recs]
+            _check_aligned(name, cols)
+            scale = recs[0]["scale"]
+            last = sum(rec["baseline"] for rec in recs)
+            last_time = recs[0]["start_time"]
+            points = []
+            for i in range(len(cols[0])):
+                now = cols[0][i][0]
+                elapsed = now - last_time
+                if elapsed <= 0:
+                    continue  # mirror RateSampler's same-instant guard
+                current = sum(col[i][1] for col in cols)
+                points.append([now, (current - last) * scale / elapsed])
+                last = current
+                last_time = now
+        out.append({"name": name, "unit": unit, "points": points})
+    return out
+
+
+def merge_raw_profiles(
+    profiles: List[Optional[Dict[str, Any]]],
+) -> Optional[Dict[str, Any]]:
+    """Fold per-domain engine profiles (sums/maxima; NOT serial-equal).
+
+    A sharded run executes one observer tick *per domain* per sampler
+    interval and each domain heap is shallower than the serial heap, so
+    this profile describes the sharded execution itself.  The
+    equivalence harness strips profiles before byte comparison.
+    """
+    live = [p for p in profiles if p is not None]
+    if not live:
+        return None
+    counts: Dict[str, int] = {}
+    events = 0
+    depth = 0
+    for p in live:
+        events += p["events"]
+        if p["max_heap_depth"] > depth:
+            depth = p["max_heap_depth"]
+        for cb_name, count in p["counts"].items():
+            counts[cb_name] = counts.get(cb_name, 0) + count
+    rows = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+    return {
+        "events": events,
+        "max_heap_depth": depth,
+        "callbacks": [[cb_name, count] for cb_name, count in rows],
+    }
+
+
+def merge_ext_harvests(
+    registry: TelemetryRegistry, harvests: List[Dict[str, int]]
+) -> None:
+    """Apply extension counter dicts with the serial max/sum rule."""
+    for harvest in harvests:
+        for name, value in harvest.items():
+            if name.endswith("max_in_use"):
+                counter = registry.counter(f"floodgate.{name}")
+                if value > counter.value:
+                    counter.value = value
+            else:
+                registry.counter(f"floodgate.{name}").inc(value)
+
+
+def build_shard_export(
+    config,
+    cfg: TelemetryConfig,
+    sim_time_ns: int,
+    events: int,
+    hub: "StatsHub",
+    flows_completed: int,
+    flows_total: int,
+    retransmissions: int,
+    rpc_counts: Optional[Tuple[int, int]],
+    ext_harvests: List[Dict[str, int]],
+    series: List[Dict[str, Any]],
+    profile: Optional[Dict[str, Any]],
+) -> TelemetryExport:
+    """Assemble the export exactly as the serial recorder would.
+
+    ``hub`` is the merged parent hub; the remaining scalars are the
+    merged equivalents of what the serial harvest reads off the live
+    scenario (each a sum or max of per-domain values, so the arithmetic
+    lands on identical integers).
+    """
+    reg = TelemetryRegistry()
+    if cfg.counters:
+        reg.counter("flows.completed").value = flows_completed
+        reg.counter("flows.total").value = flows_total
+        reg.counter("drops.congestion").value = hub.packets_dropped
+        reg.counter("drops.fault_data").value = hub.fault_drops["data"]
+        reg.counter("drops.fault_ctrl").value = hub.fault_drops["ctrl"]
+        reg.counter("rx.corrupt").value = hub.corrupt_rx
+        reg.counter("control.unclaimed").value = hub.unclaimed_control_frames
+        reg.counter("pfc.pause_events").value = hub.pfc_pause_events
+        reg.counter("stalls").value = hub.stall_events
+        for kind in sorted(hub.pfc_paused_time):
+            reg.counter(f"pfc.paused_ns.{kind}", unit="ns").value = (
+                hub.pfc_paused_time[kind]
+            )
+        reg.counter("retransmissions").value = retransmissions
+        if rpc_counts is not None:
+            reg.counter("rpc.requests_issued").value = rpc_counts[0]
+            reg.counter("rpc.requests_completed").value = rpc_counts[1]
+        merge_ext_harvests(reg, ext_harvests)
+    histograms = []
+    for hist in (hub.fct_histogram, hub.queuing_histogram, hub.rpc_histogram):
+        if hist is not None:
+            histograms.append(hist)
+    histograms.sort(key=lambda h: h.name)
+    return TelemetryExport(
+        meta={
+            "sim_time_ns": sim_time_ns,
+            "events": events,
+            "interval_ns": cfg.interval,
+            "seed": config.seed,
+            "topology": config.topology,
+            "cc": config.cc,
+            "flow_control": config.flow_control,
+            "workload": config.workload,
+        },
+        counters=reg.counter_values(),
+        series=series,
+        histograms=[
+            {
+                "name": h.name,
+                "unit": h.unit,
+                "bins": [[edge, count] for edge, count in h.bins()],
+                "total": h.total,
+                "sum": h.sum,
+                "min": h.min,
+                "max": h.max,
+            }
+            for h in histograms
+        ],
+        profile=profile,
+    )

@@ -134,18 +134,31 @@ class TestConfigRestrictions:
         with pytest.raises(ValueError, match="fidelity='packet'"):
             tiny_cfg(shards=2, fidelity="flow")
 
-    def test_fault_plan_rejected(self):
-        plan = FaultPlan((LinkDown(at=us(10), duration=us(20)),))
-        with pytest.raises(ValueError, match="fault plan"):
-            tiny_cfg(shards=2, fault_plan=plan)
+    def test_fault_plan_accepted(self):
+        # faults run under shards now: installation is domain-local and
+        # boundary-crossing plans are rejected at validation instead
+        plan = FaultPlan((LinkDown(at=us(10), duration=us(20), link="host-switch"),))
+        assert tiny_cfg(shards=2, fault_plan=plan).shards == 2
 
-    def test_telemetry_rejected(self):
-        with pytest.raises(ValueError, match="telemetry"):
-            tiny_cfg(shards=2, telemetry=TelemetryConfig())
+    def test_telemetry_accepted(self):
+        assert tiny_cfg(shards=2, telemetry=TelemetryConfig()).shards == 2
 
-    def test_sanitizer_rejected(self):
-        with pytest.raises(ValueError, match="sanitizer"):
-            tiny_cfg(shards=2, sanitize=SanitizerConfig())
+    def test_sanitizer_accepted(self):
+        assert tiny_cfg(shards=2, sanitize=SanitizerConfig()).shards == 2
+
+    def test_boundary_fault_plan_rejected(self):
+        # a selector pinned to a tor<->spine link crosses domains; the
+        # sharded runner must refuse rather than silently diverge
+        plan = FaultPlan((LinkDown(at=us(10), duration=us(20), link="switch-switch"),))
+        cfg = tiny_cfg(shards=2, fault_plan=plan)
+        with pytest.raises(ValueError, match="boundary"):
+            run_sharded_scenario(Scenario(cfg), us(100), 0.0)
+
+    def test_process_mode_rejects_stall_watchdog(self):
+        plan = FaultPlan((), stall_window=us(50))
+        cfg = tiny_cfg(shards=2, shard_mode="process", fault_plan=plan)
+        with pytest.raises(ValueError, match="stall_window"):
+            run_sharded_scenario(Scenario(cfg), us(100), 0.0)
 
     def test_auto_mode_resolution(self):
         assert resolve_mode(tiny_cfg(shards=2)) == "process"
