@@ -39,6 +39,7 @@ class Flow:
         "cc",
         "sender_done",
         "retransmitted_packets",
+        "fluid_src",
         # receiver state
         "expected_seq",
         "delivered_bytes",
@@ -79,6 +80,10 @@ class Flow:
         self.cc = SimpleNamespace()
         self.sender_done = False
         self.retransmitted_packets = 0
+        #: hybrid-fidelity marker: the "sender" is a fluid-tier boundary
+        #: injector, not a packet host, so the receiver must not emit
+        #: end-to-end control (ACK/NACK/CNP) toward it (repro.hybrid)
+        self.fluid_src = False
         # -- receiver -----------------------------------------------------------
         self.expected_seq = 0
         self.delivered_bytes = 0

@@ -12,6 +12,9 @@ Usage::
     floodgate-experiment scenarios show NAME
     floodgate-experiment validate-flowsim [--scenario quick ...]
                                           [--tolerance 0.15] [--min-speedup 20]
+    floodgate-experiment validate-hybrid [--scenario incast256 ...]
+                                         [--tolerance 0.10] [--min-speedup 5]
+                                         [--paranoid]
     floodgate-experiment report [--scheme floodgate] [--out run.jsonl]
     floodgate-experiment report --from run.jsonl
     floodgate-experiment check [paths ...] [--sanitize] [--rules]
@@ -352,6 +355,45 @@ def main(argv: list[str] | None = None) -> int:
         metavar="FILE",
         help="also write the per-config comparisons as JSON",
     )
+    validate_h = sub.add_parser(
+        "validate-hybrid",
+        help="cross-validate the hybrid tier against the packet engine "
+        "(hot-rack FCT divergence + speedup)",
+    )
+    validate_h.add_argument(
+        "--scenario",
+        nargs="+",
+        default=None,
+        choices=["quick", "incast256", "fattree-a2a"],
+        help="bench scenario(s) to validate (default: incast256 and "
+        "fattree-a2a)",
+    )
+    validate_h.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="max hot-rack p50/p99 FCT divergence (default 0.10)",
+    )
+    validate_h.add_argument(
+        "--min-speedup",
+        type=float,
+        default=5.0,
+        help="min aggregate wall-clock speedup across all configs; "
+        "0 disables (default 5)",
+    )
+    validate_h.add_argument(
+        "--paranoid",
+        action="store_true",
+        help="cross-check every incremental max-min reallocation "
+        "against a full recompute (slow)",
+    )
+    validate_h.add_argument(
+        "--json",
+        dest="json_out",
+        default=None,
+        metavar="FILE",
+        help="also write the per-config comparisons as JSON",
+    )
     report_p = sub.add_parser(
         "report",
         help="run one instrumented scenario and render its telemetry "
@@ -530,6 +572,37 @@ def main(argv: list[str] | None = None) -> int:
         verdict = "PASS" if ok else "FAIL"
         print(
             f"validate-flowsim: {verdict} in {time.monotonic() - start:.1f}s",
+            file=sys.stderr,
+        )
+        return 0 if ok else 1
+
+    if args.command == "validate-hybrid":
+        from repro.hybrid.validate import validate_hybrid
+
+        names = args.scenario or ["incast256", "fattree-a2a"]
+        print(
+            f"Cross-validating hybrid tier on: {', '.join(names)} ...",
+            file=sys.stderr,
+        )
+        start = time.monotonic()
+        ok, comparisons, messages = validate_hybrid(
+            names,
+            tolerance=args.tolerance,
+            min_speedup=args.min_speedup,
+            paranoid=args.paranoid,
+        )
+        for msg in messages:
+            print(msg)
+        if args.json_out:
+            with open(args.json_out, "w", encoding="utf-8") as fh:
+                json.dump(
+                    [c.as_dict() for c in comparisons], fh, indent=2
+                )
+                fh.write("\n")
+            print(f"comparisons written to {args.json_out}", file=sys.stderr)
+        verdict = "PASS" if ok else "FAIL"
+        print(
+            f"validate-hybrid: {verdict} in {time.monotonic() - start:.1f}s",
             file=sys.stderr,
         )
         return 0 if ok else 1

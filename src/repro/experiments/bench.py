@@ -12,7 +12,10 @@ cover the regimes the engine must stay fast in:
 * ``fattree-a2a`` — a 128-host fat-tree (k=8) under Poisson
   all-to-all, the multi-hop routing-heavy regime;
 * ``flowsim-*`` — fluid-tier twins, gated on flows/s into
-  ``BENCH_flowsim.json``;
+  ``BENCH_flowsim.json`` (each record also carries the incremental
+  max-min allocator's flows/s delta vs a full-recompute twin);
+* ``hybrid-*`` — hybrid-tier twins, gated on flows/s plus a
+  ``speedup_vs_packet`` twin timing, also in ``BENCH_flowsim.json``;
 * ``rpc-*`` — closed-loop rpc workloads (repro.rpc), gated on
   requests/s into ``BENCH_rpc.json``.
 
@@ -38,6 +41,7 @@ Entry points:
 
 from __future__ import annotations
 
+import gc
 import json
 import os
 import platform
@@ -73,6 +77,11 @@ FLOWSIM_PREFIX = "flowsim-"
 #: gated on requests/second (the number the subsystem exists to serve)
 RPC_PREFIX = "rpc-"
 
+#: hybrid-tier scenarios (``fidelity="hybrid"``): recorded alongside
+#: the fluid tier in ``BENCH_flowsim.json``, gated on flows/second,
+#: plus a packet-engine twin timing that yields ``speedup_vs_packet``
+HYBRID_PREFIX = "hybrid-"
+
 #: sharded-engine scenarios (``config.shards > 1``): recorded in the
 #: engine trajectory with the usual events/second regression gate,
 #: plus a serial-twin timing that yields ``speedup_vs_serial``
@@ -83,6 +92,11 @@ SHARD_PREFIX = "shard-"
 #: shards — conservative-parallel workers time-slicing one core can
 #: only lose; the record still carries the measured ratio either way
 SHARD_SPEEDUP_GATES = {"shard-fattree-a2a": 1.8}
+
+#: scenario -> minimum speedup_vs_packet the gate enforces for hybrid
+#: records.  Bench scale is smaller than the validate-hybrid runs, so
+#: the bar sits below the 5x the validation CLI asserts at full scale
+HYBRID_SPEEDUP_GATES = {"hybrid-incast256": 3.0}
 
 #: flowsim gate fallback when no same-machine history exists: the
 #: fluid tier completes tens of thousands of flows per second; below
@@ -155,7 +169,7 @@ def gate_metric_for(scenario: str) -> str:
     """
     if scenario in registry.names():
         return registry.get(scenario).gate_metric
-    if scenario.startswith(FLOWSIM_PREFIX):
+    if scenario.startswith((FLOWSIM_PREFIX, HYBRID_PREFIX)):
         return "flows_per_sec"
     if scenario.startswith(RPC_PREFIX):
         return "requests_per_sec"
@@ -183,10 +197,23 @@ def run_bench_scenario(spec: BenchScenario, repeats: int = 3) -> Dict:
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
     sharded = any(cfg.shards > 1 for cfg in spec.configs)
+    hybrid = any(cfg.fidelity == "hybrid" for cfg in spec.configs)
+    # the incremental max-min fast path's contribution, measured on the
+    # fluid tier where the allocator *is* the engine: time a
+    # full-recompute twin and record the flows/second delta
+    fluid = not hybrid and any(cfg.fidelity == "flow" for cfg in spec.configs)
     walls: List[float] = []
     serial_walls: List[float] = []
+    packet_walls: List[float] = []
+    full_maxmin_walls: List[float] = []
     events = completed = total = sim_time = requests = -1
     for _ in range(repeats):
+        # collect before every timed sweep: without this, the first
+        # sweep of an iteration pays GC for the previous iteration's
+        # garbage, a *positional* bias that systematically flatters
+        # whichever twin runs second (it dwarfed the real delta on
+        # near-1x comparisons like the incremental-max-min twin)
+        gc.collect()
         wall = 0.0
         ev = done = flows = stime = reqs = 0
         for cfg in spec.configs:
@@ -212,9 +239,31 @@ def run_bench_scenario(spec: BenchScenario, repeats: int = 3) -> Dict:
         if sharded:
             # the serial twin, timed under the same repeat so machine
             # noise hits both sides; speedup is median over median
+            gc.collect()
             serial_walls.append(
                 sum(
                     run_scenario(replace(cfg, shards=1)).wall_seconds
+                    for cfg in spec.configs
+                )
+            )
+        if hybrid:
+            # the packet-engine twin, same repeat for the same reason
+            gc.collect()
+            packet_walls.append(
+                sum(
+                    run_scenario(
+                        replace(cfg, fidelity="packet", hot_racks=())
+                    ).wall_seconds
+                    for cfg in spec.configs
+                )
+            )
+        if fluid:
+            gc.collect()
+            full_maxmin_walls.append(
+                sum(
+                    run_scenario(
+                        replace(cfg, maxmin_incremental=False)
+                    ).wall_seconds
                     for cfg in spec.configs
                 )
             )
@@ -242,6 +291,21 @@ def run_bench_scenario(spec: BenchScenario, repeats: int = 3) -> Dict:
         record["serial_wall_seconds"] = round(serial_median, 4)
         record["speedup_vs_serial"] = (
             round(serial_median / median, 3) if median else 0.0
+        )
+    if hybrid:
+        packet_median = statistics.median(packet_walls)
+        record["packet_wall_seconds"] = round(packet_median, 4)
+        record["speedup_vs_packet"] = (
+            round(packet_median / median, 3) if median else 0.0
+        )
+    if fluid:
+        full_median = statistics.median(full_maxmin_walls)
+        record["full_maxmin_wall_seconds"] = round(full_median, 4)
+        record["flows_per_sec_full_maxmin"] = (
+            round(completed / full_median) if full_median else 0
+        )
+        record["maxmin_incremental_speedup"] = (
+            round(full_median / median, 3) if median else 0.0
         )
     return record
 
@@ -382,6 +446,20 @@ def check_gate(
             messages.append(
                 f"gate ok {name}: {rate:,} {unit} >= {bar:,} ({basis})"
             )
+        min_hybrid = HYBRID_SPEEDUP_GATES.get(name)
+        if min_hybrid is not None and "speedup_vs_packet" in rec:
+            speedup = rec["speedup_vs_packet"]
+            if speedup < min_hybrid:
+                ok = False
+                messages.append(
+                    f"GATE FAIL {name}: speedup {speedup}x < "
+                    f"{min_hybrid}x vs the packet engine"
+                )
+            else:
+                messages.append(
+                    f"gate ok {name}: speedup {speedup}x >= "
+                    f"{min_hybrid}x vs packet"
+                )
         min_speedup = SHARD_SPEEDUP_GATES.get(name)
         if min_speedup is not None and "speedup_vs_serial" in rec:
             speedup = rec["speedup_vs_serial"]
@@ -423,9 +501,9 @@ def run_and_write(
     """Benchmark, append to the trajectories, and return the records.
 
     Packet-engine records land in the engine file (``path`` /
-    ``$REPRO_BENCH_OUT`` / ``BENCH_engine.json``); ``flowsim-*``
-    records land in ``BENCH_flowsim.json`` and ``rpc-*`` records in
-    ``BENCH_rpc.json``, both next to it.  The return value maps
+    ``$REPRO_BENCH_OUT`` / ``BENCH_engine.json``); ``flowsim-*`` and
+    ``hybrid-*`` records land in ``BENCH_flowsim.json`` and ``rpc-*``
+    records in ``BENCH_rpc.json``, both next to it.  The return value maps
     scenario name to its fresh record, plus ``output_file`` (engine)
     and, when they ran, ``flowsim_output_file`` / ``rpc_output_file``.
     """
@@ -435,7 +513,7 @@ def run_and_write(
     flowsim = {
         k: v
         for k, v in records.items()
-        if k.startswith(FLOWSIM_PREFIX) and k not in rpc
+        if k.startswith((FLOWSIM_PREFIX, HYBRID_PREFIX)) and k not in rpc
     }
     engine = {
         k: v for k, v in records.items() if k not in rpc and k not in flowsim

@@ -14,6 +14,8 @@ the history files key off them):
 
 * ``flowsim-*`` — runs at ``fidelity="flow"``, gated on flows/s,
   recorded in ``BENCH_flowsim.json``;
+* ``hybrid-*`` — runs at ``fidelity="hybrid"``, gated on flows/s plus
+  a packet-twin speedup, recorded in ``BENCH_flowsim.json``;
 * ``rpc-*`` — closed-loop rpc workloads, gated on requests/s,
   recorded in ``BENCH_rpc.json``;
 * everything else — the packet engine, gated on events/s, recorded in
@@ -191,6 +193,12 @@ def _builtin_entries() -> List[ScenarioEntry]:
         )
         for cfg in incast_sweep
     )
+    # the hybrid-tier twin: hot racks at packet level over a fluid
+    # background, on the same validation variant as flowsim-incast256
+    # so the three tiers' records are directly comparable
+    hybrid_incast = tuple(
+        replace(cfg, fidelity="hybrid") for cfg in flowsim_incast
+    )
     return [
         ScenarioEntry(
             "quick",
@@ -231,6 +239,16 @@ def _builtin_entries() -> List[ScenarioEntry]:
             (replace(fattree, fidelity="flow"),),
             tags=("bench", "flowsim"),
             gate_metric="flows_per_sec",
+        ),
+        ScenarioEntry(
+            "hybrid-incast256",
+            "hybrid tier: incast-degree sweep with the victim rack at "
+            "packet level over a fluid background",
+            hybrid_incast,
+            tags=("bench", "hybrid"),
+            gate_metric="flows_per_sec",
+            notes="records speedup_vs_packet from a packet-engine twin "
+            "timed in the same repeat; gated >=3x (see bench.check_gate)",
         ),
         ScenarioEntry(
             "shard-incast256",

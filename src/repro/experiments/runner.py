@@ -178,6 +178,15 @@ def run_scenario(
         # event loop instead of packets — see repro.flowsim
         fluid = FluidSimulation(sc)
         fluid.schedule()
+    elif sc.config.fidelity == "hybrid":
+        # hybrid tier: hot racks run the packet engine, everything else
+        # the fluid model, stitched at the rack uplinks — see
+        # repro.hybrid (it subclasses FluidSimulation, so the fluid
+        # plumbing below applies to its cold tier too)
+        from repro.hybrid.model import HybridSimulation
+
+        fluid = HybridSimulation(sc)
+        fluid.schedule()
     else:
         sc.schedule_flows()
     driver = sc.rpc_driver
@@ -216,6 +225,8 @@ def run_scenario(
         stop = getattr(ext, "stop", None)
         if stop is not None:
             stop()
+    if sc.hybrid is not None:
+        sc.hybrid.stop()
     telemetry = sc.telemetry.finalize() if sc.telemetry is not None else None
     violations: List[str] = []
     if sc.sanitizer is not None:

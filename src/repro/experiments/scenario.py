@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 from enum import Enum
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.cc.base import CcAlgorithm, StaticWindowCc
 from repro.faults.injector import FaultInjector
@@ -73,9 +73,10 @@ _VALID_FLOW_CONTROL = (
     "ndp",
 )
 _VALID_PATTERNS = ("incastmix", "poisson", "incast", "rpc", "none")
-_VALID_FIDELITY = ("packet", "flow")
+_VALID_FIDELITY = ("packet", "flow", "hybrid")
 #: flow controls the fluid tier can model (per-dst window caps); the
-#: queue-level baselines have no fluid equivalent
+#: queue-level baselines have no fluid equivalent.  The hybrid tier
+#: inherits the same set: its cold racks are fluid.
 _FLOW_FIDELITY_FLOW_CONTROL = ("none", "floodgate", "floodgate-ideal")
 
 
@@ -85,8 +86,19 @@ class ScenarioConfig:
 
     # --- fidelity ---------------------------------------------------------
     #: simulation tier: "packet" runs the per-packet event engine,
-    #: "flow" the fluid max-min rate model (repro.flowsim)
+    #: "flow" the fluid max-min rate model (repro.flowsim), "hybrid"
+    #: packet-level hot racks over a fluid background (repro.hybrid)
     fidelity: str = "packet"
+    #: hybrid tier: rack indices (ToR order) simulated at packet
+    #: fidelity; empty selects hot racks automatically from the
+    #: workload's per-destination expected arrival rates
+    hot_racks: Tuple[int, ...] = ()
+    #: restrict fluid max-min recomputation to the connected component
+    #: of links dirtied by the arrival/departure (repro.flowsim)
+    maxmin_incremental: bool = True
+    #: cross-check every incremental reallocation against a full
+    #: recompute (slow; the validate CLIs expose it as --paranoid)
+    paranoid_maxmin: bool = False
 
     # --- topology -----------------------------------------------------------
     topology: str = "leaf-spine"  # leaf-spine | fat-tree | testbed | dumbbell
@@ -236,10 +248,10 @@ class ScenarioConfig:
                 "shards > 1 requires fidelity='packet' (the fluid "
                 "model is a single global rate computation)"
             )
-        if self.fidelity == "flow":
+        if self.fidelity in ("flow", "hybrid"):
             if self.flow_control not in _FLOW_FIDELITY_FLOW_CONTROL:
                 raise ValueError(
-                    f"fidelity='flow' cannot model flow_control="
+                    f"fidelity={self.fidelity!r} cannot model flow_control="
                     f"{self.flow_control!r}; supported: "
                     f"{', '.join(_FLOW_FIDELITY_FLOW_CONTROL)}"
                 )
@@ -248,6 +260,33 @@ class ScenarioConfig:
                     "fault injection requires fidelity='packet' "
                     "(the fluid model has no packets to drop or links "
                     "to flap mid-transfer)"
+                )
+        if not isinstance(self.hot_racks, tuple) or any(
+            not isinstance(r, int) or isinstance(r, bool) or r < 0
+            for r in self.hot_racks
+        ):
+            raise ValueError(
+                f"hot_racks must be a tuple of non-negative rack "
+                f"indices, got {self.hot_racks!r}"
+            )
+        if self.hot_racks and self.fidelity != "hybrid":
+            raise ValueError(
+                "hot_racks only applies to fidelity='hybrid' (packet "
+                "runs everything hot, flow runs everything cold)"
+            )
+        if self.fidelity == "hybrid":
+            if self.pattern == "rpc":
+                raise ValueError(
+                    "fidelity='hybrid' does not support closed-loop rpc "
+                    "workloads yet (the driver would need to observe "
+                    "completions across both tiers); use fidelity="
+                    "'packet' or 'flow'"
+                )
+            if self.topology not in ("leaf-spine", "fat-tree"):
+                raise ValueError(
+                    "fidelity='hybrid' needs a racked topology "
+                    "(leaf-spine or fat-tree) to partition into hot and "
+                    "cold domains"
                 )
 
     def resolved(self) -> "ScenarioConfig":
@@ -327,6 +366,11 @@ class Scenario:
         #: the runner dispatches a fidelity="flow" run; the sanitizer's
         #: rate-conservation sweep looks for it
         self.fluid = None
+        #: the hybrid engine (repro.hybrid) attaches itself here on a
+        #: fidelity="hybrid" run (it also sets ``fluid``: it *is* the
+        #: cold tier); the sanitizer's boundary-conservation sweep and
+        #: the telemetry harvest look for it
+        self.hybrid = None
         self.fault_injector: Optional[FaultInjector] = None
         self.watchdog: Optional[StallWatchdog] = None
         self.telemetry: Optional[TelemetryRecorder] = None

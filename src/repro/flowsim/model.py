@@ -78,10 +78,11 @@ class FluidFlow:
         self.rate = 0.0
         self.proj_finish = _NEVER
         #: set at admission: the instant, and a snapshot of each link
-        #: resource's cumulative bits — the queueing-delay correction
-        #: reads lifetime utilization from the deltas at completion
+        #: resource's cumulative fluid and packet bits — the queueing-
+        #: delay correction reads lifetime utilization from the deltas
+        #: at completion
         self.admit_time = 0
-        self.admit_bits: Tuple[Tuple[int, float], ...] = ()
+        self.admit_bits: Tuple[Tuple[int, float, float], ...] = ()
 
 
 class FluidSimulation:
@@ -122,10 +123,25 @@ class FluidSimulation:
         #: correction applied to its FCT at completion.
         self._n_link_resources = 2 * len(self.topology.links)
         self._resource_bits: List[float] = [0.0] * self._n_link_resources
-        #: (src, dst) -> (resource path, [(bandwidth, delay) hops]);
-        #: per-flow ECMP paths depend on the flow id and bypass it
-        self._path_cache: Dict[Tuple[int, int], Tuple[Tuple[int, ...], Tuple]] = {}
+        #: cumulative bits the *packet* tier carried on each directed
+        #: link without a fluid flow representing them (hybrid boundary
+        #: traffic: see repro.hybrid).  Counted as cross traffic by the
+        #: queueing-delay correction; bytes whose flow is fluid-managed
+        #: must never be booked here — they already accumulate in
+        #: ``_resource_bits`` — or utilization would be counted twice.
+        self._packet_bits: List[float] = [0.0] * self._n_link_resources
+        #: (first-switch, dst, ecmp-key) -> path tail from that switch
+        #: onward.  Every host in a rack shares its ToR's tail, so
+        #: boundary crossings and whole-rack workloads stop rebuilding
+        #: hop tuples per flow; per-flow ECMP keys the tail by flow id.
+        self._tail_cache: Dict[
+            Tuple[int, int, int], Tuple[Tuple[int, ...], Tuple]
+        ] = {}
         self._active: List[FluidFlow] = []
+        #: resource index -> insertion-ordered dict of active flows
+        #: touching it (a dict used as a deterministic set); the
+        #: incremental reallocator walks connected components over it
+        self._res_flows: Dict[int, Dict[FluidFlow, None]] = {}
         self._last_advance = 0
         self._arrivals: List[FluidFlow] = []
         self._arrival_cursor = 0
@@ -162,27 +178,18 @@ class FluidSimulation:
         )
         return window_bits * SEC / max(hop_rtt, 1)
 
-    def _build_path(
-        self, src: int, dst: int, flow_id: int
+    def _directed_resource(self, link, node) -> int:
+        """Directed-link resource index for ``link`` leaving ``node``."""
+        direction = 0 if link.node_a is node else 1
+        return 2 * self._link_index[id(link)] + direction
+
+    def _build_tail(
+        self, node: Switch, dst: int, flow_id: int
     ) -> Tuple[Tuple[int, ...], Tuple]:
-        """Resource indices plus (bandwidth, delay) hops from src to dst."""
+        """Resources + hops from switch ``node`` to host ``dst``."""
         resources: List[int] = []
         hops: List[Tuple[float, int]] = []
-        node = self.topology.hosts[src]
-        link = node.links[0]
         while True:
-            direction = 0 if link.node_a is node else 1
-            resources.append(2 * self._link_index[id(link)] + direction)
-            hops.append((link.bandwidth, link.delay))
-            peer = link.peer_of(node)
-            if not isinstance(peer, Switch):
-                if peer.node_id != dst:  # pragma: no cover - defensive
-                    raise RuntimeError(
-                        f"route walk from {src} to {dst} reached host "
-                        f"{peer.node_id}"
-                    )
-                return tuple(resources), tuple(hops)
-            node = peer
             if self._floodgate_ext and not node.is_last_hop_for(dst):
                 key = (node.node_id, dst)
                 voq = self._voq_resource.get(key)
@@ -192,16 +199,56 @@ class FluidSimulation:
                     self._voq_resource[key] = voq
                 resources.append(voq)
             link = node.links[self._route_port(node, dst, flow_id)]
+            resources.append(self._directed_resource(link, node))
+            hops.append((link.bandwidth, link.delay))
+            peer = link.peer_of(node)
+            if not isinstance(peer, Switch):
+                if peer.node_id != dst:  # pragma: no cover - defensive
+                    raise RuntimeError(
+                        f"route walk to {dst} reached host {peer.node_id}"
+                    )
+                return tuple(resources), tuple(hops)
+            node = peer
+
+    def _tail_from(
+        self, node: Switch, dst: int, flow_id: int
+    ) -> Tuple[Tuple[int, ...], Tuple]:
+        """Cached :meth:`_build_tail`, keyed (switch, dst, ecmp-key).
+
+        Without per-flow ECMP the route from a switch depends only on
+        the destination, so every host behind one ToR shares a single
+        cached tail; per-flow ECMP hashes the flow id, so the tail is
+        keyed by it instead.
+        """
+        ecmp_key = flow_id if self.config.per_flow_ecmp else -1
+        key = (node.node_id, dst, ecmp_key)
+        cached = self._tail_cache.get(key)
+        if cached is None:
+            cached = self._build_tail(node, dst, flow_id)
+            self._tail_cache[key] = cached
+        return cached
+
+    def _build_path(
+        self, src: int, dst: int, flow_id: int
+    ) -> Tuple[Tuple[int, ...], Tuple]:
+        """Resource indices plus (bandwidth, delay) hops from src to dst."""
+        node = self.topology.hosts[src]
+        link = node.links[0]
+        head_resource = self._directed_resource(link, node)
+        head_hop = (link.bandwidth, link.delay)
+        peer = link.peer_of(node)
+        if not isinstance(peer, Switch):
+            if peer.node_id != dst:  # pragma: no cover - defensive
+                raise RuntimeError(
+                    f"route walk from {src} to {dst} reached host "
+                    f"{peer.node_id}"
+                )
+            return (head_resource,), (head_hop,)
+        tail_resources, tail_hops = self._tail_from(peer, dst, flow_id)
+        return (head_resource,) + tail_resources, (head_hop,) + tail_hops
 
     def _path_of(self, flow: Flow) -> Tuple[Tuple[int, ...], Tuple]:
-        if self.config.per_flow_ecmp:
-            return self._build_path(flow.src, flow.dst, flow.flow_id)
-        key = (flow.src, flow.dst)
-        cached = self._path_cache.get(key)
-        if cached is None:
-            cached = self._build_path(flow.src, flow.dst, flow.flow_id)
-            self._path_cache[key] = cached
-        return cached
+        return self._build_path(flow.src, flow.dst, flow.flow_id)
 
     def _tail_latency(self, size: int, hops: Tuple) -> int:
         """Unloaded delivery lag of the flow's final packet.
@@ -285,6 +332,16 @@ class FluidSimulation:
                             bits[r] += moved
         self._last_advance = now
 
+    def note_packet_bits(self, resource: int, bits: float) -> None:
+        """Book packet-tier bits on a directed link (hybrid boundary).
+
+        Only for traffic with *no* fluid flow representing it: fluid-
+        managed flows already accumulate ``_resource_bits`` through
+        :meth:`_advance`, so booking their materialized packets here
+        too would double-count utilization in :meth:`_queueing_wait`.
+        """
+        self._packet_bits[resource] += bits
+
     def _queueing_wait(self, ff: FluidFlow, now: int) -> int:
         """Estimated queueing delay the flow's packets saw, in ns.
 
@@ -293,22 +350,25 @@ class FluidSimulation:
         (Poisson-heavy runs showed ~20% p99 underestimates vs the
         packet engine).  Correction: for each directed link on the
         path, the cross traffic carried during the flow's lifetime
-        (cumulative resource bits minus the flow's own) gives the mean
-        utilization ``rho`` its packets competed against; an M/M/1-
-        shaped wait of ``rho / (1 - rho)`` MTU service times per hop is
-        added to the FCT.  A lone flow sees ``rho == 0`` everywhere, so
-        unloaded FCTs keep their exact closed-form values.
+        (cumulative resource bits minus the flow's own, plus any
+        packet-tier bits the hybrid boundary booked for traffic no
+        fluid flow represents) gives the mean utilization ``rho`` its
+        packets competed against; an M/M/1-shaped wait of
+        ``rho / (1 - rho)`` MTU service times per hop is added to the
+        FCT.  A lone flow sees ``rho == 0`` everywhere, so unloaded
+        FCTs keep their exact closed-form values.
         """
         lifetime = now - ff.admit_time
         if lifetime <= 0 or not ff.admit_bits:
             return 0
         own = ff.flow.size * 8.0
         bits = self._resource_bits
+        pbits = self._packet_bits
         caps = self.capacities
         per_sec = SEC / lifetime
         wait = 0.0
-        for r, b0 in ff.admit_bits:
-            cross = bits[r] - b0 - own
+        for r, b0, p0 in ff.admit_bits:
+            cross = (bits[r] - b0 - own) + (pbits[r] - p0)
             if cross <= 0.0:
                 continue
             cap = caps[r]
@@ -318,7 +378,48 @@ class FluidSimulation:
             wait += rho / (1.0 - rho) * serialization_delay(MTU, cap)
         return int(wait)
 
-    def _complete_due(self, now: int) -> bool:
+    def _retire_flow(self, ff: FluidFlow, now: int) -> None:
+        """Record one finished transfer (FCT, stats, completion hook).
+
+        Overridden by the hybrid tier for boundary flows whose FCT is
+        measured from real packet delivery instead.
+        """
+        flow = ff.flow
+        finish = now + ff.tail_latency + self._queueing_wait(ff, now)
+        flow.finish_time = finish
+        flow.delivered_bytes = flow.size
+        flow.sender_done = True
+        flow.expected_seq = flow.n_packets
+        flow.acked_seq = flow.n_packets
+        dst_host = self.topology.hosts[flow.dst]
+        dst_host.rx_data_bytes += flow.size
+        stats = self.stats
+        if stats is not None:
+            stats.record_rx(flow.flow_id, flow.size)
+            stats.record_fct(
+                FctRecord(
+                    flow.flow_id,
+                    flow.src,
+                    flow.dst,
+                    flow.size,
+                    flow.start_time,
+                    finish,
+                )
+            )
+        if dst_host.on_flow_done is not None:
+            dst_host.on_flow_done(flow)
+
+    def _unlink(self, ff: FluidFlow) -> None:
+        """Drop a flow from the resource-incidence index."""
+        res_flows = self._res_flows
+        for r in ff.path:
+            bucket = res_flows.get(r)
+            if bucket is not None:
+                bucket.pop(ff, None)
+                if not bucket:
+                    del res_flows[r]
+
+    def _complete_due(self, now: int, dirty: List[int]) -> bool:
         """Retire flows whose projected finish has arrived."""
         done = [
             ff
@@ -328,48 +429,35 @@ class FluidSimulation:
         if not done:
             return False
         self._active = [ff for ff in self._active if ff not in done]
-        topo = self.topology
-        stats = self.stats
         for ff in done:
-            flow = ff.flow
+            self._unlink(ff)
+            dirty.extend(ff.path)
             ff.remaining_bits = 0.0
-            finish = now + ff.tail_latency + self._queueing_wait(ff, now)
-            flow.finish_time = finish
-            flow.delivered_bytes = flow.size
-            flow.sender_done = True
-            flow.expected_seq = flow.n_packets
-            flow.acked_seq = flow.n_packets
-            dst_host = topo.hosts[flow.dst]
-            dst_host.rx_data_bytes += flow.size
-            if stats is not None:
-                stats.record_rx(flow.flow_id, flow.size)
-                stats.record_fct(
-                    FctRecord(
-                        flow.flow_id,
-                        flow.src,
-                        flow.dst,
-                        flow.size,
-                        flow.start_time,
-                        finish,
-                    )
-                )
-            if dst_host.on_flow_done is not None:
-                dst_host.on_flow_done(flow)
+            self._retire_flow(ff, now)
         return True
 
     def _on_admit(self, ff: FluidFlow, now: int) -> None:
         ff.admit_time = now
         bits = self._resource_bits
+        pbits = self._packet_bits
         n_link = self._n_link_resources
         ff.admit_bits = tuple(
-            (r, bits[r]) for r in ff.path if r < n_link
+            (r, bits[r], pbits[r]) for r in ff.path if r < n_link
         )
+        res_flows = self._res_flows
+        for r in ff.path:
+            bucket = res_flows.get(r)
+            if bucket is None:
+                res_flows[r] = {ff: None}
+            else:
+                bucket[ff] = None
 
-    def _admit(self, now: int) -> bool:
+    def _admit(self, now: int, dirty: List[int]) -> bool:
         arrived = False
         if self._injected:
             for ff in self._injected:
                 self._on_admit(ff, now)
+                dirty.extend(ff.path)
             self._active.extend(self._injected)
             self._injected.clear()
             arrived = True
@@ -378,23 +466,47 @@ class FluidSimulation:
         while cursor < len(arrivals) and arrivals[cursor].flow.start_time <= now:
             ff = arrivals[cursor]
             self._on_admit(ff, now)
+            dirty.extend(ff.path)
             self._active.append(ff)
             cursor += 1
             arrived = True
         self._arrival_cursor = cursor
         return arrived
 
-    def _reallocate(self, now: int) -> None:
-        """Recompute max-min rates and projected finishes."""
-        self.reallocations += 1
-        active = self._active
-        if not active:
-            return
-        # compress to the resources the active set actually touches
+    def _dirty_component(self, dirty: List[int]) -> List[FluidFlow]:
+        """Active flows in the connected component of the dirty links.
+
+        Max-min fairness decomposes exactly over connected components
+        of the flow/resource bipartite graph: a progressive-filling
+        round in one component never reads a rate or capacity from
+        another.  Flows outside the component therefore keep both
+        their rate and their projected finish (which stays valid
+        because ``_advance`` drained bits at exactly that rate).
+        """
+        res_flows = self._res_flows
+        visited = dict.fromkeys(dirty)
+        stack = list(visited)
+        flows: Dict[FluidFlow, None] = {}
+        while stack:
+            r = stack.pop()
+            bucket = res_flows.get(r)
+            if not bucket:
+                continue
+            for ff in bucket:
+                if ff not in flows:
+                    flows[ff] = None
+                    for r2 in ff.path:
+                        if r2 not in visited:
+                            visited[r2] = None
+                            stack.append(r2)
+        return list(flows)
+
+    def _maxmin(self, flows: List[FluidFlow]) -> List[float]:
+        """Max-min rates for ``flows`` over compressed resources."""
         local: Dict[int, int] = {}
         caps: List[float] = []
         paths: List[Tuple[int, ...]] = []
-        for ff in active:
+        for ff in flows:
             compressed = []
             for r in ff.path:
                 li = local.get(r)
@@ -404,8 +516,13 @@ class FluidSimulation:
                     caps.append(self.capacities[r])
                 compressed.append(li)
             paths.append(tuple(compressed))
-        rates = max_min_rates(paths, [ff.ceiling for ff in active], caps)
-        for ff, rate in zip(active, rates, strict=True):
+        return max_min_rates(paths, [ff.ceiling for ff in flows], caps)
+
+    def _apply_rates(
+        self, now: int, flows: List[FluidFlow], rates: List[float]
+    ) -> None:
+        """Install freshly allocated rates (hybrid re-paces here)."""
+        for ff, rate in zip(flows, rates, strict=True):
             ff.rate = rate
             if rate > 0.0 and ff.remaining_bits > 0.0:
                 ff.proj_finish = now + int(
@@ -413,6 +530,53 @@ class FluidSimulation:
                 )
             else:
                 ff.proj_finish = _NEVER
+
+    def _reallocate(self, now: int, dirty: Optional[List[int]] = None) -> None:
+        """Recompute max-min rates and projected finishes.
+
+        With ``dirty`` (the directed-link/VOQ resources touched by the
+        arrivals, departures, or capacity changes that triggered the
+        call) and ``maxmin_incremental`` on, only the connected
+        component containing those resources is recomputed; ``None``
+        forces the full active set (the paranoid reference).
+        """
+        self.reallocations += 1
+        active = self._active
+        if not active:
+            return
+        if dirty is not None and self.config.maxmin_incremental:
+            flows = self._dirty_component(dirty)
+            if not flows:
+                return
+        else:
+            flows = active
+        rates = self._maxmin(flows)
+        if (
+            self.config.paranoid_maxmin
+            and len(flows) < len(active)
+        ):
+            self._paranoid_check(flows, rates)
+        self._apply_rates(now, flows, rates)
+
+    def _paranoid_check(
+        self, flows: List[FluidFlow], rates: List[float]
+    ) -> None:
+        """Assert the incremental allocation matches a full recompute.
+
+        Compared with ``isclose`` rather than ``==``: the full pass
+        interleaves components, so float reassociation can shift the
+        shared fair-share sums by ulps.
+        """
+        full = self._maxmin(self._active)
+        fresh = dict(zip(flows, rates, strict=True))
+        for ff, rate in zip(self._active, full, strict=True):
+            got = fresh.get(ff, ff.rate)
+            if not math.isclose(got, rate, rel_tol=1e-9, abs_tol=1e-3):
+                raise AssertionError(
+                    f"incremental max-min diverged for flow "
+                    f"{ff.flow.flow_id}: component gave {got!r}, full "
+                    f"recompute gave {rate!r}"
+                )
 
     def _schedule_next_completion(self) -> None:
         nxt = _NEVER
@@ -435,10 +599,11 @@ class FluidSimulation:
         """One fluid step: advance, retire, admit, re-share, re-arm."""
         now = self.sim.now
         self._advance(now)
-        changed = self._complete_due(now)
-        changed = self._admit(now) or changed
+        dirty: List[int] = []
+        changed = self._complete_due(now, dirty)
+        changed = self._admit(now, dirty) or changed
         if changed:
-            self._reallocate(now)
+            self._reallocate(now, dirty)
         self._schedule_next_completion()
 
     # -- invariants (consumed by repro.simcheck.sanitizer) -----------------

@@ -1,0 +1,5 @@
+"""Hybrid fidelity: packet-level hot racks over a fluid background."""
+
+from repro.hybrid.model import HybridSimulation, select_hot_racks
+
+__all__ = ["HybridSimulation", "select_hot_racks"]

@@ -273,10 +273,13 @@ class Host(Node):
                     self.on_flow_done(flow)
             last = flow.expected_seq >= flow.n_packets
             if last or flow.expected_seq % self.ack_interval == 0:
-                self._send_ack(flow, pkt)
+                # hybrid boundary flows have no packet-level sender to
+                # ACK-clock; the injector paces off fluid allocations
+                if not flow.fluid_src:
+                    self._send_ack(flow, pkt)
         elif pkt.seq > flow.expected_seq:
             # gap: go-back-N NACK, rate limited
-            if now - flow.last_nack_time >= self.nack_interval:
+            if not flow.fluid_src and now - flow.last_nack_time >= self.nack_interval:
                 flow.last_nack_time = now
                 nack = self.pool.acquire_control(
                     PacketKind.NACK, self.node_id, flow.src
@@ -286,9 +289,11 @@ class Host(Node):
                 self.ports[0].enqueue_control(nack)
         else:
             # duplicate after a rewind: re-ACK so the sender advances
-            self._send_ack(flow, pkt)
+            if not flow.fluid_src:
+                self._send_ack(flow, pkt)
         if (
             self.cnp_enabled
+            and not flow.fluid_src
             and pkt.ecn_marked
             and now - flow.last_cnp_time >= self.cnp_interval
         ):

@@ -81,6 +81,9 @@ class SimSanitizer:
         #: lazily resolved: pause/resume pairing assumes lossless
         #: control delivery, so lossy/faulted links switch it off
         self._pairing: Optional[bool] = None
+        #: True only during ``final_check``: the hybrid boundary sweep
+        #: adds end-of-run equalities that mid-run inflight would fail
+        self._final = False
         self._task = self._make_task()
         # rare-path hooks: pause/resume pairing is event-driven, so the
         # nodes get a back-reference (None on unsanitized runs)
@@ -216,10 +219,12 @@ class SimSanitizer:
         self._check_credits(inflight_credit)
         self._check_pool()
         self._check_flow_rates()
+        self._check_hybrid_boundary()
 
     def final_check(self) -> None:
         """End-of-run sweep (the periodic task must be stopped first)."""
         self.stop()
+        self._final = True
         self.check_now()
 
     def _check_data_conservation(self, inflight: int) -> None:
@@ -325,6 +330,12 @@ class SimSanitizer:
             applied += ext.credit_frames_rx
         if not have_floodgate:
             return
+        hybrid = getattr(self.scenario, "hybrid", None)
+        if hybrid is not None:
+            # boundary absorption synthesizes the credit the absorbed
+            # fabric would have generated; it is applied at the hot ToR
+            # like any other, so it joins the sent side of the ledger
+            sent += hybrid.synthesized_credit_frames
         unclaimed = sum(
             sw.unclaimed_credit_frames for sw in self.topology.switches
         )
@@ -426,6 +437,14 @@ class SimSanitizer:
         if fluid is None:
             return
         for message in fluid.conservation_errors():
+            self.record(message)
+
+    def _check_hybrid_boundary(self) -> None:
+        """Hybrid-tier byte conservation at the fluid/packet boundary."""
+        hybrid = getattr(self.scenario, "hybrid", None)
+        if hybrid is None:
+            return
+        for message in hybrid.boundary_errors(final=self._final):
             self.record(message)
 
     # -- reporting ----------------------------------------------------------

@@ -158,6 +158,9 @@ class TelemetryRecorder:
                         counter.value = value
                 else:
                     reg.counter(f"floodgate.{name}").inc(value)
+        if sc.hybrid is not None:
+            for name, value in sc.hybrid.telemetry_counters().items():
+                reg.counter(name).value = value
 
     def _build_export(self) -> TelemetryExport:
         sc = self.scenario

@@ -108,6 +108,113 @@ def test_flow_fidelity_same_seed_runs_are_byte_identical():
     assert rep["violations"] == []
 
 
+# -- the incremental fast path ------------------------------------------------
+
+
+def test_incremental_maxmin_paranoid_run_is_clean():
+    """Every incremental reallocation is cross-checked against a full
+    recompute inside the run; a divergence raises AssertionError."""
+    result = run_scenario(
+        tiny_cfg(fidelity="flow", paranoid_maxmin=True, poisson_load=0.8)
+    )
+    assert result.completed_flows > 0
+
+
+def test_incremental_and_full_maxmin_agree_on_fcts():
+    inc = run_scenario(tiny_cfg(fidelity="flow"))
+    full = run_scenario(tiny_cfg(fidelity="flow", maxmin_incremental=False))
+    by_id_inc = {r.flow_id: r.fct for r in inc.stats.fct_records}
+    by_id_full = {r.flow_id: r.fct for r in full.stats.fct_records}
+    assert set(by_id_inc) == set(by_id_full)
+    for fid, fct in sorted(by_id_inc.items()):
+        # the full pass recomputes untouched components at later
+        # instants, so ceil-rounding of projected finishes may drift
+        # by nanoseconds; the allocation itself must agree
+        assert abs(fct - by_id_full[fid]) <= 2, fid
+
+
+# -- the tail-path cache ------------------------------------------------------
+
+
+def test_tail_paths_are_cached_per_rack_and_destination():
+    from repro.experiments.scenario import Scenario
+    from repro.flowsim.model import FluidSimulation
+
+    sc = Scenario(tiny_cfg(fidelity="flow"))
+    fs = FluidSimulation(sc)
+    rack_of = sc.rack_of()
+    racks = {}
+    for host, rack in sorted(rack_of.items()):
+        racks.setdefault(rack, []).append(host)
+    a, b = racks[0][0], racks[0][1]
+    dst = racks[1][0]
+    fs._tail_cache.clear()
+    pa, hops_a = fs._build_path(a, dst, flow_id=1)
+    pb, hops_b = fs._build_path(b, dst, flow_id=2)
+    # both sources sit behind one ToR: a single shared cache entry,
+    # and identical paths past the first (host->ToR) hop
+    assert len(fs._tail_cache) == 1
+    assert pa[1:] == pb[1:]
+    assert hops_a[1:] == hops_b[1:]
+
+
+def test_tail_cache_keys_by_flow_under_per_flow_ecmp():
+    from repro.experiments.scenario import Scenario
+    from repro.flowsim.model import FluidSimulation
+
+    sc = Scenario(tiny_cfg(fidelity="flow", per_flow_ecmp=True))
+    fs = FluidSimulation(sc)
+    rack_of = sc.rack_of()
+    racks = {}
+    for host, rack in sorted(rack_of.items()):
+        racks.setdefault(rack, []).append(host)
+    fs._tail_cache.clear()
+    fs._build_path(racks[0][0], racks[1][0], flow_id=1)
+    fs._build_path(racks[0][0], racks[1][0], flow_id=2)
+    assert len(fs._tail_cache) == 2
+
+
+# -- packet-tier cross traffic in the queueing correction ---------------------
+
+
+def test_queueing_wait_counts_booked_packet_bits():
+    """Bits the hybrid boundary books via note_packet_bits are cross
+    traffic for the M/M/1 correction — but only bits booked *after*
+    the flow was admitted (the admit-time baseline prevents the
+    double-count this regression test guards)."""
+    from repro.experiments.scenario import Scenario
+    from repro.flowsim.model import FluidSimulation
+    from repro.workloads.poisson import FlowSpec
+
+    sc = Scenario(tiny_cfg(fidelity="flow"))
+    fs = FluidSimulation(sc)
+    rack_of = sc.rack_of()
+    hosts = sorted(rack_of)
+    src = hosts[0]
+    dst = next(h for h in hosts if rack_of[h] != rack_of[src])
+    # pre-admission packet load: must be baselined away at admit
+    stale = [r for r in range(fs._n_link_resources)]
+    for r in stale:
+        fs.note_packet_bits(r, 1e9)
+    fs.schedule([FlowSpec(0, src, dst, 1_000_000, 0)])
+    sc.sim.run(until=us(50))
+    (ff,) = fs._active
+    now = sc.sim.now
+    assert fs._queueing_wait(ff, now) == 0  # lone flow, no cross traffic
+    r = next(r for r in ff.path if r < fs._n_link_resources)
+    fs.note_packet_bits(r, 5e8)
+    wait = fs._queueing_wait(ff, now)
+    assert wait > 0
+    # booking on a link off the flow's path changes nothing
+    off_path = next(
+        r
+        for r in range(fs._n_link_resources)
+        if r not in ff.path
+    )
+    fs.note_packet_bits(off_path, 5e8)
+    assert fs._queueing_wait(ff, now) == wait
+
+
 # -- config validation (satellite: invalid fields raise at construction) ------
 
 

@@ -117,7 +117,7 @@ def test_packet_pool_actually_recycles():
     assert sc.pool.released > sc.pool.recycled  # free list is non-empty
 
 
-@pytest.mark.parametrize("fidelity", ["packet", "flow"])
+@pytest.mark.parametrize("fidelity", ["packet", "flow", "hybrid"])
 def test_fidelity_roundtrip_serial_pooled_cached_identical(fidelity, tmp_path):
     """Serial, pooled, and cache-served sweeps agree at both fidelities.
 
